@@ -1,0 +1,79 @@
+//! Runtime-versus-load charts (reproduces the paper's Figure 3).
+
+use crate::PackSpec;
+use dcb_units::{Fraction, Seconds, WattHours, Watts};
+
+/// One point of a runtime chart: load level, runtime, energy delivered.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChartPoint {
+    /// Load as a fraction of the pack's rated power.
+    pub load: Fraction,
+    /// Absolute load in watts.
+    pub load_watts: Watts,
+    /// Runtime sustained at that load.
+    pub runtime: Seconds,
+    /// Total energy delivered over the runtime.
+    pub energy: WattHours,
+}
+
+/// Produces the runtime chart of a pack over `steps` evenly spaced load
+/// levels from `1/steps` to 100 % of rated power — the data behind the
+/// paper's Figure 3.
+///
+/// # Panics
+///
+/// Panics if `steps` is zero.
+///
+/// ```
+/// use dcb_battery::{runtime_chart, PackSpec};
+///
+/// let chart = runtime_chart(PackSpec::figure3_reference(), 4);
+/// assert_eq!(chart.len(), 4);
+/// // Quarter load lasts 60 minutes, full load 10 minutes.
+/// assert!((chart[0].runtime.to_minutes() - 60.0).abs() < 1e-6);
+/// assert!((chart[3].runtime.to_minutes() - 10.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn runtime_chart(pack: PackSpec, steps: usize) -> Vec<ChartPoint> {
+    assert!(steps > 0, "chart needs at least one step");
+    (1..=steps)
+        .map(|i| {
+            let load = Fraction::new(i as f64 / steps as f64);
+            let load_watts = pack.rated_power() * load.value();
+            let runtime = pack.runtime_at(load_watts);
+            ChartPoint {
+                load,
+                load_watts,
+                runtime,
+                energy: pack.energy_delivered_at(load_watts),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_is_monotone_decreasing_in_runtime() {
+        let chart = runtime_chart(PackSpec::figure3_reference(), 20);
+        for pair in chart.windows(2) {
+            assert!(pair[0].runtime >= pair[1].runtime);
+            assert!(pair[0].energy >= pair[1].energy);
+        }
+    }
+
+    #[test]
+    fn chart_covers_full_load_range() {
+        let chart = runtime_chart(PackSpec::figure3_reference(), 10);
+        assert_eq!(chart.first().unwrap().load, Fraction::new(0.1));
+        assert_eq!(chart.last().unwrap().load, Fraction::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_rejected() {
+        let _ = runtime_chart(PackSpec::figure3_reference(), 0);
+    }
+}

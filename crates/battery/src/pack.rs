@@ -1,0 +1,230 @@
+//! Battery pack specifications and the Peukert runtime law.
+
+use crate::Chemistry;
+use dcb_units::{Seconds, WattHours, Watts};
+
+/// The static specification of a battery pack: rated power, runtime at rated
+/// power, and chemistry.
+///
+/// The paper parameterizes UPS batteries exactly this way — a peak power
+/// capacity plus an energy capacity expressed as *runtime* (Table 2 reports
+/// "UPS runtime" in minutes; Table 3's `LargeEUPS` is "30 min"). The
+/// `rated_runtime` here is the runtime at 100 % load, so the pack's nominal
+/// energy is `rated_power × rated_runtime`.
+///
+/// ```
+/// use dcb_battery::{Chemistry, PackSpec};
+/// use dcb_units::{Watts, Seconds};
+///
+/// let pack = PackSpec::new(Watts::new(4000.0), Seconds::from_minutes(10.0), Chemistry::LeadAcid);
+/// // Nominal (100%-load) energy of the Figure 3 pack is 0.66 kWh.
+/// assert!((pack.nominal_energy().value() - 666.7).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PackSpec {
+    rated_power: Watts,
+    rated_runtime: Seconds,
+    chemistry: Chemistry,
+}
+
+impl PackSpec {
+    /// Creates a pack rated to deliver `rated_power` for `rated_runtime`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rated_power` or `rated_runtime` is negative, or if
+    /// `rated_runtime` is not finite.
+    #[must_use]
+    pub fn new(rated_power: Watts, rated_runtime: Seconds, chemistry: Chemistry) -> Self {
+        assert!(rated_power.value() >= 0.0, "rated power must be >= 0");
+        assert!(
+            rated_runtime.value() >= 0.0 && rated_runtime.is_finite(),
+            "rated runtime must be finite and >= 0"
+        );
+        Self {
+            rated_power,
+            rated_runtime,
+            chemistry,
+        }
+    }
+
+    /// The Figure 3 pack: 4 kW lead-acid, 10 minutes at rated load.
+    #[must_use]
+    pub fn figure3_reference() -> Self {
+        Self::new(
+            Watts::new(4000.0),
+            Seconds::from_minutes(10.0),
+            Chemistry::LeadAcid,
+        )
+    }
+
+    /// Rated (peak) power.
+    #[must_use]
+    pub fn rated_power(self) -> Watts {
+        self.rated_power
+    }
+
+    /// Runtime at rated power.
+    #[must_use]
+    pub fn rated_runtime(self) -> Seconds {
+        self.rated_runtime
+    }
+
+    /// The chemistry.
+    #[must_use]
+    pub fn chemistry(self) -> Chemistry {
+        self.chemistry
+    }
+
+    /// Nominal energy: what the pack delivers when drained at rated power.
+    ///
+    /// This is the "UPSEnergyCapacity" that enters the paper's cost model
+    /// (Equation 2): power × runtime.
+    #[must_use]
+    pub fn nominal_energy(self) -> WattHours {
+        self.rated_power * self.rated_runtime
+    }
+
+    /// Runtime at a constant `load`, per Peukert's law:
+    ///
+    /// `t(P) = rated_runtime × (rated_power / P)^k`.
+    ///
+    /// Reproduces Figure 3's anchors for the reference pack: 10 min at
+    /// 4 kW, 60 min at 1 kW. Loads above rated power extrapolate along the
+    /// same law (runtime *below* rated runtime); enforcing the power
+    /// capacity limit is the UPS's job, not the cell model's.
+    ///
+    /// Returns an infinite runtime at zero load and zero runtime for a pack
+    /// with zero rated power or runtime.
+    #[must_use]
+    pub fn runtime_at(self, load: Watts) -> Seconds {
+        if self.rated_power.value() <= 0.0 || self.rated_runtime.value() <= 0.0 {
+            return Seconds::ZERO;
+        }
+        if load.value() <= 0.0 {
+            return Seconds::new(f64::INFINITY);
+        }
+        let ratio = self.rated_power.value() / load.value();
+        self.rated_runtime * ratio.powf(self.chemistry.peukert_exponent())
+    }
+
+    /// Energy actually delivered when drained at a constant `load`:
+    /// `P × t(P)`. Monotonically decreasing in load for `k > 1` — the
+    /// Figure 3 pack delivers 1 kWh at 25 % load but only 0.66 kWh at full
+    /// load.
+    #[must_use]
+    pub fn energy_delivered_at(self, load: Watts) -> WattHours {
+        if load.value() <= 0.0 {
+            return WattHours::ZERO;
+        }
+        load * self.runtime_at(load)
+    }
+
+    /// Scales the pack's rated power, keeping the rated runtime — models
+    /// composing more strings of the same cells in parallel.
+    #[must_use]
+    pub fn scale_power(self, factor: f64) -> Self {
+        Self::new(self.rated_power * factor, self.rated_runtime, self.chemistry)
+    }
+
+    /// Returns a pack with additional energy modules so that its runtime at
+    /// rated power becomes `runtime` (the paper's "Additional battery
+    /// modules can be added to this base capacity").
+    #[must_use]
+    pub fn with_rated_runtime(self, runtime: Seconds) -> Self {
+        Self::new(self.rated_power, runtime, self.chemistry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference() -> PackSpec {
+        PackSpec::figure3_reference()
+    }
+
+    #[test]
+    fn figure3_anchor_full_load() {
+        let t = reference().runtime_at(Watts::new(4000.0));
+        assert!((t.to_minutes() - 10.0).abs() < 1e-9);
+        let e = reference().energy_delivered_at(Watts::new(4000.0));
+        assert!((e.value() - 666.666).abs() < 1.0, "expected ~0.66 kWh, got {e}");
+    }
+
+    #[test]
+    fn figure3_anchor_quarter_load() {
+        let t = reference().runtime_at(Watts::new(1000.0));
+        assert!((t.to_minutes() - 60.0).abs() < 1e-6);
+        let e = reference().energy_delivered_at(Watts::new(1000.0));
+        assert!((e.value() - 1000.0).abs() < 1e-6, "expected 1 kWh, got {e}");
+    }
+
+    #[test]
+    fn zero_load_runs_forever() {
+        assert!(reference().runtime_at(Watts::ZERO).value().is_infinite());
+        assert_eq!(reference().energy_delivered_at(Watts::ZERO), WattHours::ZERO);
+    }
+
+    #[test]
+    fn zero_capacity_pack_has_no_runtime() {
+        let dead = PackSpec::new(Watts::ZERO, Seconds::ZERO, Chemistry::LeadAcid);
+        assert_eq!(dead.runtime_at(Watts::new(100.0)), Seconds::ZERO);
+    }
+
+    #[test]
+    fn lithium_flatter_than_lead_acid() {
+        let la = reference();
+        let li = PackSpec::new(
+            la.rated_power(),
+            la.rated_runtime(),
+            Chemistry::LithiumIon,
+        );
+        // At quarter load, lead-acid gains relatively more runtime.
+        let quarter = Watts::new(1000.0);
+        assert!(la.runtime_at(quarter) > li.runtime_at(quarter));
+        // At rated load they agree by construction.
+        assert_eq!(la.runtime_at(Watts::new(4000.0)), li.runtime_at(Watts::new(4000.0)));
+    }
+
+    #[test]
+    fn overload_extrapolates_below_rated_runtime() {
+        let t = reference().runtime_at(Watts::new(8000.0));
+        assert!(t < reference().rated_runtime());
+        assert!(t.value() > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn runtime_monotone_decreasing_in_load(
+            lo in 1.0f64..4000.0,
+            extra in 0.1f64..4000.0,
+        ) {
+            let pack = reference();
+            let t_lo = pack.runtime_at(Watts::new(lo));
+            let t_hi = pack.runtime_at(Watts::new(lo + extra));
+            prop_assert!(t_hi <= t_lo);
+        }
+
+        #[test]
+        fn energy_delivered_monotone_decreasing_in_load(
+            lo in 1.0f64..4000.0,
+            extra in 0.1f64..4000.0,
+        ) {
+            // Peukert k > 1 implies higher loads deliver *less* total energy.
+            let pack = reference();
+            let e_lo = pack.energy_delivered_at(Watts::new(lo));
+            let e_hi = pack.energy_delivered_at(Watts::new(lo + extra));
+            prop_assert!(e_hi <= e_lo + WattHours::new(1e-9));
+        }
+
+        #[test]
+        fn scale_power_scales_nominal_energy(f in 0.1f64..10.0) {
+            let pack = reference();
+            let scaled = pack.scale_power(f);
+            let expected = pack.nominal_energy().value() * f;
+            prop_assert!((scaled.nominal_energy().value() - expected).abs() < 1e-6);
+        }
+    }
+}

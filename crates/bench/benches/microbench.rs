@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks for the hot paths of the framework:
+//! battery discharge, outage simulation, migration planning, cost
+//! evaluation, predictor queries, and the sizing search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcb_battery::{Battery, PackSpec};
+use dcb_core::cost::CostModel;
+use dcb_core::evaluate::evaluate;
+use dcb_core::sizing::{min_cost_ups, SizingTargets};
+use dcb_core::{BackupConfig, Cluster, OutageSim, Technique};
+use dcb_migration::MigrationModel;
+use dcb_outage::{DurationDistribution, DurationPredictor, OutageSampler};
+use dcb_units::{Seconds, Watts};
+use dcb_workload::Workload;
+use std::hint::black_box;
+
+fn battery_benches(c: &mut Criterion) {
+    c.bench_function("battery/peukert_runtime", |b| {
+        let pack = PackSpec::figure3_reference();
+        b.iter(|| black_box(pack.runtime_at(black_box(Watts::new(1234.0)))));
+    });
+    c.bench_function("battery/discharge_1h_at_1s_steps", |b| {
+        b.iter(|| {
+            let mut battery = Battery::full(PackSpec::figure3_reference());
+            let mut delivered = 0.0;
+            for _ in 0..3600 {
+                let outcome = battery.draw(Watts::new(400.0), Seconds::new(1.0));
+                delivered += outcome.energy_delivered.value();
+            }
+            black_box(delivered)
+        });
+    });
+}
+
+fn sim_benches(c: &mut Criterion) {
+    c.bench_function("sim/specjbb_5min_ride_through", |b| {
+        let sim = OutageSim::new(
+            Cluster::rack(Workload::specjbb()),
+            BackupConfig::large_e_ups(),
+            Technique::ride_through(),
+        );
+        b.iter(|| black_box(sim.run(Seconds::from_minutes(5.0))));
+    });
+    c.bench_function("sim/specjbb_2h_hybrid", |b| {
+        let sim = OutageSim::new(
+            Cluster::rack(Workload::specjbb()),
+            BackupConfig::small_p_large_e_ups(),
+            Technique::throttle_sleep_l(dcb_server::ThrottleLevel {
+                p: dcb_server::PState::slowest(),
+                t: dcb_server::TState::full(),
+            }),
+        );
+        b.iter(|| black_box(sim.run(Seconds::from_minutes(120.0))));
+    });
+}
+
+fn model_benches(c: &mut Criterion) {
+    c.bench_function("migration/precopy_plan", |b| {
+        let model = MigrationModel::xen_default();
+        let jbb = Workload::specjbb();
+        b.iter(|| {
+            black_box(model.plan(
+                black_box(jbb.memory_footprint()),
+                black_box(jbb.dirty_profile().dirty_rate),
+            ))
+        });
+    });
+    c.bench_function("cost/table3_normalization", |b| {
+        let model = CostModel::paper();
+        let configs = BackupConfig::table3();
+        b.iter(|| {
+            configs
+                .iter()
+                .map(|config| model.normalized_cost(config))
+                .sum::<f64>()
+        });
+    });
+    c.bench_function("outage/predictor_queries", |b| {
+        let predictor =
+            DurationPredictor::from_distribution(&DurationDistribution::us_business());
+        b.iter(|| {
+            let mut acc = 0.0;
+            for minutes in 1..60 {
+                acc += predictor.probability_exceeds(
+                    Seconds::from_minutes(f64::from(minutes)),
+                    Seconds::from_minutes(10.0),
+                );
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("outage/sample_year", |b| {
+        let mut sampler = OutageSampler::seeded(42);
+        b.iter(|| black_box(sampler.sample_year()));
+    });
+}
+
+fn pipeline_benches(c: &mut Criterion) {
+    c.bench_function("evaluate/point", |b| {
+        let cluster = Cluster::rack(Workload::memcached());
+        let config = BackupConfig::no_dg();
+        let technique = Technique::throttle_deepest();
+        b.iter(|| {
+            black_box(evaluate(
+                &cluster,
+                &config,
+                &technique,
+                Seconds::from_minutes(5.0),
+            ))
+        });
+    });
+    let mut slow = c.benchmark_group("sizing");
+    slow.sample_size(10);
+    slow.bench_function("min_cost_ups_sleep_30s", |b| {
+        let cluster = Cluster::rack(Workload::specjbb());
+        b.iter(|| {
+            black_box(min_cost_ups(
+                &cluster,
+                &Technique::sleep_l(),
+                Seconds::new(30.0),
+                &SizingTargets::execute_to_plan(),
+            ))
+        });
+    });
+    slow.finish();
+}
+
+fn extension_benches(c: &mut Criterion) {
+    c.bench_function("trace/yearly_run_trace", |b| {
+        let sim = OutageSim::new(
+            Cluster::rack(Workload::specjbb()),
+            BackupConfig::no_dg(),
+            Technique::sleep_l(),
+        );
+        let mut sampler = OutageSampler::seeded(9);
+        let trace = sampler.sample_year();
+        let span = Seconds::from_hours(365.0 * 24.0);
+        b.iter(|| black_box(sim.run_trace(&trace, span)));
+    });
+    let mut slow = c.benchmark_group("availability");
+    slow.sample_size(10);
+    slow.bench_function("analyze_20_years", |b| {
+        let cluster = Cluster::rack(Workload::specjbb());
+        let config = BackupConfig::large_e_ups();
+        let technique = Technique::ride_through();
+        b.iter(|| {
+            black_box(dcb_core::availability::analyze(
+                &cluster, &config, &technique, 20, 7,
+            ))
+        });
+    });
+    slow.finish();
+    c.bench_function("geo/evaluate_with_failover_2h", |b| {
+        let cluster = Cluster::rack(Workload::web_search());
+        let config = BackupConfig::no_dg();
+        let technique = Technique::sleep_l();
+        let geo = dcb_core::geo::GeoFailover::typical();
+        b.iter(|| {
+            black_box(dcb_core::geo::evaluate_with_failover(
+                &cluster,
+                &config,
+                &technique,
+                Seconds::from_hours(2.0),
+                &geo,
+            ))
+        });
+    });
+    c.bench_function("online/adaptive_30min", |b| {
+        let controller = dcb_core::online::AdaptiveController::new(
+            DurationPredictor::from_distribution(&DurationDistribution::us_business()),
+        );
+        let cluster = Cluster::rack(Workload::specjbb());
+        let config = BackupConfig::large_e_ups();
+        b.iter(|| black_box(controller.simulate(&cluster, &config, Seconds::from_minutes(30.0))));
+    });
+}
+
+criterion_group!(
+    benches,
+    battery_benches,
+    sim_benches,
+    model_benches,
+    pipeline_benches,
+    extension_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! `cargo bench` entry point that regenerates every table and figure of the
+//! paper and verifies the headline claims. Run with:
+//!
+//! ```sh
+//! cargo bench --bench reproduce
+//! ```
+//!
+//! This is a custom (`harness = false`) target rather than a Criterion
+//! suite: the "benchmark" is the full reproduction itself, timed per
+//! exhibit. Criterion micro-benchmarks live in `microbench.rs`.
+
+use std::time::Instant;
+
+fn main() {
+    let started = Instant::now();
+    println!("================================================================");
+    println!(" dcbackup — reproduction of every table & figure (ASPLOS 2014)");
+    println!("================================================================\n");
+    for (name, generate) in dcb_bench::all_exhibits() {
+        let t0 = Instant::now();
+        let block = generate();
+        let elapsed = t0.elapsed();
+        println!("{block}");
+        println!("  [{name} regenerated in {elapsed:.2?}]\n");
+    }
+
+    println!("{}", dcb_bench::tables::state_size_sensitivity());
+
+    println!("---------------- ablations & §7 enhancements ----------------\n");
+    for (name, generate) in dcb_bench::extra_exhibits() {
+        let t0 = Instant::now();
+        let block = generate();
+        let elapsed = t0.elapsed();
+        println!("{block}");
+        println!("  [{name} regenerated in {elapsed:.2?}]\n");
+    }
+
+    println!("== Headline claim verification ==");
+    let mut failures = 0;
+    for (claim, check) in dcb_bench::verify::verify_all() {
+        match check {
+            Ok(summary) => println!("  PASS {claim}: {summary}"),
+            Err(err) => {
+                failures += 1;
+                println!("  FAIL {claim}: {err}");
+            }
+        }
+    }
+    println!(
+        "\nreproduction complete in {:.2?} with {failures} claim failure(s)",
+        started.elapsed()
+    );
+    assert_eq!(failures, 0, "headline claims must hold");
+}

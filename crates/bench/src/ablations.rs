@@ -1,0 +1,538 @@
+//! Ablation studies and §7-enhancement exhibits beyond the paper's figures.
+//!
+//! These quantify the design choices DESIGN.md calls out: battery
+//! chemistry, the free-runtime assumption, the consolidation ratio, the
+//! NVDIMM / RDMA-sleep / geo-failover enhancements, and the yearly
+//! cost-availability frontier.
+
+use dcb_battery::Chemistry;
+use dcb_core::availability::frontier;
+use dcb_core::cost::{CostModel, CostParams};
+use dcb_core::evaluate::evaluate;
+use dcb_core::geo::{evaluate_with_failover, GeoFailover};
+use dcb_core::nvdimm::{evaluate_with_nvdimm, NvdimmCost};
+use dcb_core::sizing::{min_cost_ups, SizingTargets};
+use dcb_core::{BackupConfig, Cluster, OutageSim, Technique};
+use dcb_migration::ConsolidationPlan;
+use dcb_units::{Fraction, Seconds};
+use dcb_workload::Workload;
+use std::fmt::Write as _;
+
+/// Battery-chemistry ablation: Table 3 and technique sizing under Li-ion.
+#[must_use]
+pub fn chemistry() -> String {
+    let model = CostModel::paper();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation — battery chemistry (§7 \"newer battery technologies\")"
+    );
+    let _ = writeln!(
+        out,
+        "  Li-ion energy rate: ${:.0}/kWh/yr vs lead-acid ${:.0}/kWh/yr (after lifetimes)",
+        CostParams::paper()
+            .for_chemistry(Chemistry::LithiumIon)
+            .ups_energy
+            .value(),
+        CostParams::paper().ups_energy.value()
+    );
+    let _ = writeln!(out, "  {:<20} {:>10} {:>8}", "configuration", "lead-acid", "Li-ion");
+    for config in BackupConfig::table3() {
+        let lead = model.normalized_cost(&config);
+        let li = model.normalized_cost(&config.clone().with_chemistry(Chemistry::LithiumIon));
+        let _ = writeln!(out, "  {:<20} {:>10.2} {:>8.2}", config.label(), lead, li);
+    }
+    // The §7 prediction: expensive energy shifts preference toward
+    // energy-*saving* techniques (hibernate) over energy-*hungry* ones
+    // (throttling) for long outages.
+    let cluster = Cluster::rack(Workload::specjbb());
+    let duration = Seconds::from_minutes(60.0);
+    let targets = SizingTargets::execute_to_plan();
+    let _ = writeln!(out, "  sized cost for a 60-min outage (Specjbb):");
+    for technique in [Technique::throttle_deepest(), Technique::proactive_hibernate()] {
+        let point = min_cost_ups(&cluster, &technique, duration, &targets);
+        match point {
+            Some(p) => {
+                let li_config = p.config.clone().with_chemistry(Chemistry::LithiumIon);
+                let _ = writeln!(
+                    out,
+                    "    {:<20} lead-acid {:.2} → Li-ion {:.2}",
+                    technique.name(),
+                    p.performability.cost,
+                    model.normalized_cost(&li_config),
+                );
+            }
+            None => {
+                let _ = writeln!(out, "    {:<20} infeasible", technique.name());
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  (energy-hungry throttling pays the Li-ion premium; hibernation barely moves)"
+    );
+    out
+}
+
+/// Free-runtime sensitivity: how the base (free) battery capacity changes
+/// configuration costs (the tech-report sensitivity the paper cites).
+#[must_use]
+pub fn free_runtime() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation — FreeRunTime sensitivity");
+    let _ = writeln!(
+        out,
+        "  normalized cost of a full-power UPS at various runtimes, per base capacity"
+    );
+    let _ = writeln!(out, "  {:>9} | {:>7} {:>7} {:>7}", "runtime", "1 min", "2 min", "4 min");
+    for runtime_min in [2.0, 10.0, 30.0, 60.0] {
+        let mut row = format!("  {runtime_min:>7.0} m |");
+        for free_min in [1.0, 2.0, 4.0] {
+            let mut params = CostParams::paper();
+            params.free_runtime = Seconds::from_minutes(free_min);
+            let model = CostModel::with_params(params);
+            let config = BackupConfig::custom(
+                "x",
+                Fraction::ZERO,
+                Fraction::ONE,
+                Seconds::from_minutes(runtime_min),
+            );
+            let _ = write!(row, " {:>7.2}", model.normalized_cost(&config));
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    let _ = writeln!(
+        out,
+        "  (more free base energy lowers every energy-heavy configuration's cost)"
+    );
+    out
+}
+
+/// Consolidation-ratio ablation for the Migration technique.
+#[must_use]
+pub fn consolidation() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation — consolidation ratio (Migration, Specjbb, LargeEUPS)");
+    let _ = writeln!(
+        out,
+        "  {:>6} | {:>7} {:>11} {:>12}",
+        "ratio", "perf", "energy kWh", "feasible@1h"
+    );
+    for ratio in [2u32, 3, 4] {
+        let sim = OutageSim::new(
+            Cluster::rack(Workload::specjbb()),
+            BackupConfig::large_e_ups(),
+            Technique::migration(),
+        )
+        .with_consolidation(ConsolidationPlan::pack(ratio));
+        let outcome = sim.run(Seconds::from_minutes(60.0));
+        let _ = writeln!(
+            out,
+            "  {:>4}:1 | {:>6.0}% {:>11.2} {:>12}",
+            ratio,
+            outcome.perf_during_outage.to_percent(),
+            outcome.energy.value() / 1000.0,
+            outcome.feasible,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (deeper packing trades performance for battery energy — the\n\
+         \u{20}  energy-proportionality argument of §5)"
+    );
+    out
+}
+
+/// §7 enhancements compared on one axis: NVDIMM, RDMA-sleep, and the
+/// classical sleep, across outage durations.
+#[must_use]
+pub fn enhancements() -> String {
+    let cluster = Cluster::rack(Workload::memcached());
+    let pricing = NvdimmCost::paper_era();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Enhancements — NVDIMM & RDMA-over-Sleep vs classical sleep (Memcached rack)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<26} {:>8} | {:>6} {:>6} {:>10} {:>6}",
+        "option", "outage", "cost", "perf", "downtime", "state"
+    );
+    for minutes in [0.5, 30.0, 120.0] {
+        let duration = Seconds::from_minutes(minutes);
+        let rows = [
+            evaluate(&cluster, &BackupConfig::small_pups(), &Technique::sleep_l(), duration),
+            evaluate_with_nvdimm(
+                &cluster,
+                &BackupConfig::min_cost(),
+                &Technique::nvdimm(),
+                duration,
+                &pricing,
+            ),
+            evaluate_with_nvdimm(
+                &cluster,
+                &BackupConfig::small_pups(),
+                &Technique::throttle_nvdimm(dcb_sim::low_power_level()),
+                duration,
+                &pricing,
+            ),
+            evaluate(&cluster, &BackupConfig::no_dg(), &Technique::rdma_sleep(), duration),
+        ];
+        for p in rows {
+            let _ = writeln!(
+                out,
+                "  {:<26} {:>6.1} m | {:>6.2} {:>5.0}% {:>8.1} m {:>6}",
+                format!("{} ({})", p.technique, p.config),
+                minutes,
+                p.cost,
+                p.outcome.perf_during_outage.to_percent(),
+                p.outcome.downtime.expected.to_minutes(),
+                if p.outcome.state_lost { "lost" } else { "kept" },
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  (NVDIMM keeps state with zero backup energy but pays a DRAM premium;\n\
+         \u{20}  RDMA-sleep trades a slightly larger battery for ~35% read service)"
+    );
+    out
+}
+
+/// Geo-failover for very long outages (§6.2 insight (v), §7).
+#[must_use]
+pub fn geo() -> String {
+    let cluster = Cluster::rack(Workload::web_search());
+    let geo = GeoFailover::typical();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Enhancements — geo-replication failover for long outages (Web-search)"
+    );
+    let _ = writeln!(
+        out,
+        "  remote: {:.0}% headroom × {:.0}% WAN perf, {:.0} s redirect",
+        geo.remote_capacity.to_percent(),
+        geo.wan_penalty.to_percent(),
+        geo.redirect_after.value()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<30} {:>7} | {:>6} {:>9} {:>10} {:>6}",
+        "local option", "outage", "perf", "hard down", "degraded", "state"
+    );
+    let options: [(&BackupConfig, Technique); 3] = [
+        (&BackupConfig::min_cost(), Technique::crash()),
+        (&BackupConfig::no_dg(), Technique::sleep_l()),
+        (&BackupConfig::large_e_ups(), Technique::ride_through()),
+    ];
+    for hours in [2.0, 4.0, 8.0] {
+        for (config, technique) in &options {
+            let o = evaluate_with_failover(
+                &cluster,
+                config,
+                technique,
+                Seconds::from_hours(hours),
+                &geo,
+            );
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>5.0} h | {:>5.0}% {:>7.1} m {:>8.1} m {:>6}",
+                format!("{} + {}", o.config, o.technique),
+                hours,
+                o.perf_during_outage.to_percent(),
+                o.hard_downtime.to_minutes(),
+                o.degraded_time.to_minutes(),
+                if o.state_lost { "lost" } else { "kept" },
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  (a cheap UPS + sleep keeps local state while the remote site carries\n\
+         \u{20}  traffic — geo-failover alone loses the warm state)"
+    );
+    out
+}
+
+/// UPS placement ablation (§3's rack-level-vs-centralized argument plus the
+/// tech report's server-level batteries).
+#[must_use]
+pub fn placement() -> String {
+    use dcb_power::UpsPlacement;
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation — UPS placement (§3, tech-report server-level variant)");
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>8} {:>8} {:>9} {:>10} | {:>7} {:>9}",
+        "placement", "$/kW-f", "$/kWh-f", "free-rt", "normal-eff", "NoDG", "LargeEUPS"
+    );
+    for p in UpsPlacement::ALL {
+        let model = CostModel::with_params(CostParams::paper().for_placement(p));
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8.2} {:>8.2} {:>7.0} m {:>9.1}% | {:>7.2} {:>9.2}",
+            p.to_string(),
+            p.power_cost_factor(),
+            p.energy_cost_factor(),
+            p.free_runtime().to_minutes(),
+            p.normal_efficiency().to_percent(),
+            model.normalized_cost(&BackupConfig::no_dg()),
+            model.normalized_cost(&BackupConfig::large_e_ups()),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (normalization is against the rack-level MaxPerf baseline; rack-level\n\
+         \x20 placement dominates centralized on both cost and efficiency — the\n\
+         \x20 paper's stated reason it became the default)"
+    );
+    out
+}
+
+/// Predictor-robustness study: the adaptive controller trained on the
+/// Figure 1(b) histogram, facing outages drawn from a Weibull law instead.
+#[must_use]
+pub fn robustness() -> String {
+    use dcb_core::online::AdaptiveController;
+    use dcb_outage::{DurationDistribution, DurationPredictor, WeibullDuration};
+
+    let cluster = Cluster::rack(Workload::specjbb());
+    let config = BackupConfig::large_e_ups();
+    let trained = AdaptiveController::new(DurationPredictor::from_distribution(
+        &DurationDistribution::us_business(),
+    ));
+    let matched = AdaptiveController::new(DurationPredictor::from_distribution(
+        &WeibullDuration::fit_us_business().to_bucketed(),
+    ));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Robustness — controller trained on Figure 1(b) vs Weibull reality\n\
+         (Specjbb, LargeEUPS; outages at Weibull quantiles)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:>9} {:>9} | {:>14} {:>16}",
+        "quantile", "outage", "hist-trained", "weibull-trained"
+    );
+    for q in [0.5, 0.8, 0.9, 0.95, 0.99] {
+        let duration = WeibullDuration::fit_us_business().quantile(q);
+        let a = trained.simulate(&cluster, &config, duration);
+        let b = matched.simulate(&cluster, &config, duration);
+        let fmt = |o: &dcb_core::online::AdaptiveOutcome| {
+            format!(
+                "{:>4.0}% {}",
+                o.perf_during_outage.to_percent(),
+                if o.state_lost { "LOST" } else { "kept" }
+            )
+        };
+        let _ = writeln!(
+            out,
+            "  {:>8.0}% {:>7.1} m | {:>14} {:>16}",
+            q * 100.0,
+            duration.to_minutes(),
+            fmt(&a),
+            fmt(&b),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (the histogram-trained controller degrades gracefully under the\n\
+         \x20 mismatched heavy-tail law: identical decisions and state kept through\n\
+         \x20 the 95th percentile; only the ~12 h 99th-percentile outage exceeds\n\
+         \x20 what any battery-sleep coverage could hold — geo-failover territory)"
+    );
+    out
+}
+
+/// Tier-classification analysis: delivery redundancy × backup configuration
+/// → Tier, power-path availability, capital factor, and whether the
+/// simulated outage-driven downtime fits the Tier budget.
+#[must_use]
+pub fn tier() -> String {
+    use dcb_core::availability::analyze;
+    use dcb_core::tier::Tier;
+    use dcb_power::{PowerNode, Redundancy};
+    use dcb_units::Watts;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Tier analysis — delivery redundancy × backup configuration");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:<12} {:>9} {:>12} {:>9} | {:>13} {:>7}",
+        "redundancy", "backup", "tier", "path-avail", "capital", "outage-dt/yr", "budget?"
+    );
+    let cluster = Cluster::rack(Workload::specjbb());
+    for redundancy in [Redundancy::N, Redundancy::NPlus1, Redundancy::TwoN] {
+        for config in [BackupConfig::large_e_ups(), BackupConfig::max_perf()] {
+            let tree = PowerNode::figure2(4, 4, Watts::new(4000.0), redundancy);
+            let tier = Tier::classify(redundancy, &config);
+            let report = analyze(&cluster, &config, &Technique::ride_through(), 40, 17);
+            let (tier_name, fits) = match tier {
+                Some(t) => (t.to_string(), t.met_by(&report).to_string()),
+                None => ("—".to_owned(), "—".to_owned()),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<12} {:<12} {:>9} {:>11.4}% {:>8.2}x | {:>11.1} m {:>7}",
+                redundancy.to_string(),
+                config.label(),
+                tier_name,
+                tree.path_availability() * 100.0,
+                tree.redundancy_cost() / PowerNode::figure2(4, 4, Watts::new(4000.0), Redundancy::N).redundancy_cost(),
+                report.mean_yearly_downtime.to_minutes(),
+                fits,
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  (outage-driven downtime is what this framework simulates; delivery-path\n\
+         \x20 availability composes multiplicatively on top)"
+    );
+    out
+}
+
+/// The OLTP extension workload: the corner of the design space the paper's
+/// four applications do not cover (write-heavy, migration-hostile).
+#[must_use]
+pub fn oltp() -> String {
+    let mut out = crate::figures::technique_figure_for(
+        Workload::oltp_database(),
+        "Extension workload — write-heavy OLTP database (48 GB, hot buffer pool)",
+        &[Seconds::new(30.0), Seconds::from_minutes(30.0), Seconds::from_minutes(120.0)],
+    );
+    let _ = writeln!(
+        out,
+        "  (pre-copy migration barely converges against the 95 MB/s dirty rate and\n\
+         \x20 proactive variants buy almost nothing — unlike every paper workload)"
+    );
+    out
+}
+
+/// Dual-use batteries: peak shaving during normal operation vs backup
+/// readiness (the future-work direction the paper's conclusion points at).
+#[must_use]
+pub fn dual_use() -> String {
+    use dcb_core::capping::PeakShaving;
+    use dcb_workload::LoadProfile;
+
+    let workload = Workload::web_search()
+        .with_load_profile(LoadProfile::typical_diurnal(Fraction::new(0.9)));
+    let cluster = Cluster::rack(workload);
+    let outage = Seconds::from_minutes(5.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Dual-use batteries — peak shaving vs backup readiness (diurnal Web-search,\n\
+         readiness = charge to ride a 5-min full-load outage)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:<18} | {:>11} {:>9} {:>9} {:>11}",
+        "utility cap", "battery", "shaved kWh", "min SoC", "unready", "cycles/yr"
+    );
+    for cap in [1.0, 0.95, 0.9, 0.85] {
+        for (label, config) in [
+            ("2-min pack", BackupConfig::no_dg()),
+            ("30-min pack", BackupConfig::large_e_ups()),
+        ] {
+            let day = PeakShaving::new(Fraction::new(cap)).simulate_day(&cluster, &config, outage);
+            let _ = writeln!(
+                out,
+                "  {:>10.0}% {:<18} | {:>11.2} {:>8.0}% {:>8.0}% {:>11.0}",
+                cap * 100.0,
+                label,
+                day.shaved_energy.value() / 1000.0,
+                day.min_charge.to_percent(),
+                day.unready_fraction.to_percent(),
+                day.cycles * 365.0,
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  (shaving from the base 2-min pack leaves it below backup readiness for\n\
+         \x20 part of every day and burns its cycle life in months; the 30-min pack\n\
+         \x20 absorbs mild shaving — sizing must budget for both duties)"
+    );
+    out
+}
+
+/// Yearly cost-availability frontier over representative choices.
+#[must_use]
+pub fn availability_frontier() -> String {
+    let cluster = Cluster::rack(Workload::specjbb());
+    let candidates = vec![
+        (BackupConfig::min_cost(), Technique::crash()),
+        (BackupConfig::small_pups(), Technique::sleep_l()),
+        (
+            BackupConfig::small_p_large_e_ups(),
+            Technique::throttle_sleep_l(dcb_sim::low_power_level()),
+        ),
+        (BackupConfig::no_dg(), Technique::ride_through()),
+        (BackupConfig::large_e_ups(), Technique::ride_through()),
+        (BackupConfig::max_perf(), Technique::ride_through()),
+    ];
+    let reports = frontier(&cluster, &candidates, 60, 2014);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Yearly cost–availability frontier (60 sampled years, Figure-1 statistics)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>5} | {:>11} {:>9} {:>7} {:>10}",
+        "choice", "cost", "downtime/yr", "p95", "nines", "state-loss"
+    );
+    for r in reports {
+        let nines = if r.nines.is_finite() {
+            format!("{:>7.1}", r.nines)
+        } else {
+            "    inf".to_owned()
+        };
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>5.2} | {:>9.1} m {:>7.1} m {} {:>9.0}%",
+            format!("{} + {}", r.config, r.technique),
+            r.cost,
+            r.mean_yearly_downtime.to_minutes(),
+            r.p95_yearly_downtime.to_minutes(),
+            nines,
+            r.state_loss_rate * 100.0,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chemistry_raises_energy_heavy_costs() {
+        let s = chemistry();
+        assert!(s.contains("Li-ion"), "{s}");
+    }
+
+    #[test]
+    fn enhancements_keep_state() {
+        let s = enhancements();
+        assert!(s.contains("NVDIMM"), "{s}");
+        assert!(!s.contains("30.0 m |   0.00"), "NVDIMM must carry its premium: {s}");
+    }
+
+    #[test]
+    fn geo_covers_eight_hours() {
+        let s = geo();
+        assert!(s.contains("8 h"), "{s}");
+    }
+
+    #[test]
+    fn frontier_has_all_candidates() {
+        let s = availability_frontier();
+        assert!(s.contains("MaxPerf") && s.contains("MinCost"), "{s}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p dcb-bench --bin repro -- all
+//! cargo run --release -p dcb-bench --bin repro -- fig5 table3
+//! cargo run --release -p dcb-bench --bin repro -- verify
+//! cargo run --release -p dcb-bench --bin repro -- sensitivity
+//! ```
+
+use dcb_bench::{all_exhibits, extra_exhibits, tables, verify};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        all_exhibits()
+            .iter()
+            .chain(extra_exhibits().iter())
+            .map(|(n, _)| (*n).to_owned())
+            .chain(["sensitivity".to_owned(), "verify".to_owned()])
+            .collect()
+    } else {
+        args.clone()
+    };
+
+    let mut exhibits = all_exhibits();
+    exhibits.extend(extra_exhibits());
+    let mut unknown = Vec::new();
+    for name in &wanted {
+        match name.as_str() {
+            "verify" => {
+                println!("== Headline claim verification ==");
+                let mut failed = false;
+                for (claim, check) in verify::verify_all() {
+                    match check {
+                        Ok(summary) => println!("  PASS {claim}: {summary}"),
+                        Err(err) => {
+                            failed = true;
+                            println!("  FAIL {claim}: {err}");
+                        }
+                    }
+                }
+                println!();
+                if failed {
+                    std::process::exit(1);
+                }
+            }
+            "sensitivity" => {
+                println!("{}", tables::state_size_sensitivity());
+            }
+            _ => match exhibits.iter().find(|(n, _)| n == name) {
+                Some((_, generate)) => println!("{}", generate()),
+                None => unknown.push(name.clone()),
+            },
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown exhibits: {} (available: {}, verify, sensitivity, all)",
+            unknown.join(", "),
+            exhibits
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    }
+}

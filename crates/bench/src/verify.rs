@@ -1,0 +1,248 @@
+//! The paper's headline claims, checked against the models.
+//!
+//! Each check returns `Ok(summary)` with the measured numbers or
+//! `Err(explanation)`; [`verify_all`] runs the lot. These are the
+//! "shape-preservation" criteria of the reproduction: who wins, by roughly
+//! what factor, and where the crossovers fall.
+
+use dcb_core::cost::CostModel;
+use dcb_core::evaluate::evaluate;
+use dcb_core::sizing::{min_cost_ups, SizingTargets};
+use dcb_core::tco::TcoModel;
+use dcb_core::{BackupConfig, Cluster, Technique};
+use dcb_units::{Fraction, Seconds};
+use dcb_workload::Workload;
+
+/// The result of one claim check.
+pub type Check = Result<String, String>;
+
+/// Claim 1 (§1): for outages up to ~40 minutes, DGs are not needed — extra
+/// UPS energy is cheaper and delivers full availability.
+pub fn claim1_dg_free_to_40_minutes() -> Check {
+    let model = CostModel::paper();
+    let dg_cost = model.normalized_cost(&BackupConfig::no_ups()); // DG alone
+    let ups40 = BackupConfig::custom(
+        "UPS-40min",
+        Fraction::ZERO,
+        Fraction::ONE,
+        Seconds::from_minutes(40.0),
+    );
+    let ups_cost = model.normalized_cost(&ups40);
+    if ups_cost > dg_cost + 0.02 {
+        return Err(format!(
+            "40-min UPS ({ups_cost:.2}) should not exceed DG-only cost ({dg_cost:.2})"
+        ));
+    }
+    let outcome = evaluate(
+        &Cluster::rack(Workload::specjbb()),
+        &ups40,
+        &Technique::ride_through(),
+        Seconds::from_minutes(38.0),
+    );
+    if !outcome.outcome.seamless() || outcome.outcome.state_lost {
+        return Err("40-min UPS failed to ride a 38-min outage seamlessly".into());
+    }
+    Ok(format!(
+        "UPS(40min)={ups_cost:.2} <= DG={dg_cost:.2}, and rides a 38-min outage seamlessly"
+    ))
+}
+
+/// Claim 2 (§6.1): a UPS-only backup can replace today's infrastructure for
+/// outages up to ~100 minutes at the same cost and performance.
+pub fn claim2_ups_matches_maxperf_to_100_minutes() -> Check {
+    let model = CostModel::paper();
+    let config = BackupConfig::custom(
+        "UPS-100min",
+        Fraction::ZERO,
+        Fraction::ONE,
+        Seconds::from_minutes(100.0),
+    );
+    let cost = model.normalized_cost(&config);
+    if cost > 1.05 {
+        return Err(format!("100-min UPS costs {cost:.2} > MaxPerf"));
+    }
+    let p = evaluate(
+        &Cluster::rack(Workload::specjbb()),
+        &config,
+        &Technique::ride_through(),
+        Seconds::from_minutes(95.0),
+    );
+    if !p.outcome.seamless() || p.outcome.perf_during_outage.value() < 0.99 {
+        return Err(format!(
+            "100-min UPS did not deliver MaxPerf performability (perf {:?}, downtime {:?})",
+            p.outcome.perf_during_outage, p.outcome.downtime.expected
+        ));
+    }
+    Ok(format!(
+        "full-power 100-min UPS: cost {cost:.2} (MaxPerf=1.00), seamless 95-min ride-through"
+    ))
+}
+
+/// Claim 3 (§1, §6.1): tolerating ~40% performance degradation during
+/// 1-hour outages buys ~40% cost savings with UPS as the sole backup.
+pub fn claim3_degradation_buys_savings() -> Check {
+    let targets = SizingTargets {
+        require_state_preserved: true,
+        min_perf: Some(0.58),
+        max_downtime: Some(Seconds::new(1.0)),
+    };
+    let point = min_cost_ups(
+        &Cluster::rack(Workload::specjbb()),
+        &Technique::throttle(dcb_server::ThrottleLevel {
+            p: dcb_server::PState::new(3),
+            t: dcb_server::TState::full(),
+        }),
+        Seconds::from_minutes(60.0),
+        &targets,
+    )
+    .ok_or("no UPS-only configuration sustains 60 min at >=58% performance")?;
+    let cost = point.performability.cost;
+    if cost > 0.67 {
+        return Err(format!(
+            "cheapest 60-min/60%-perf configuration costs {cost:.2}, expected ~0.6"
+        ));
+    }
+    Ok(format!(
+        "60-min outage at {:.0}% perf sized at cost {cost:.2} ({})",
+        point.performability.outcome.perf_during_outage.to_percent(),
+        point.config.label()
+    ))
+}
+
+/// Claim 4 (§6.2 insights): throttling wins short outages, hybrid
+/// throttle+sleep wins long ones (and sustains 2 h at ~20% of MaxPerf
+/// cost).
+pub fn claim4_technique_ordering() -> Check {
+    let cluster = Cluster::rack(Workload::specjbb());
+    let targets = SizingTargets::execute_to_plan();
+    let short = Seconds::new(30.0);
+    let long = Seconds::from_minutes(120.0);
+
+    let throttle_short = min_cost_ups(&cluster, &Technique::throttle_deepest(), short, &targets)
+        .ok_or("throttling unsizable for 30 s")?;
+    let hybrid = Technique::throttle_sleep_l(dcb_server::ThrottleLevel {
+        p: dcb_server::PState::slowest(),
+        t: dcb_server::TState::full(),
+    });
+    let hybrid_long =
+        min_cost_ups(&cluster, &hybrid, long, &targets).ok_or("hybrid unsizable for 2 h")?;
+    let throttle_long = min_cost_ups(&cluster, &Technique::throttle_deepest(), long, &targets);
+
+    if hybrid_long.performability.cost > 0.30 {
+        return Err(format!(
+            "Throttle+Sleep-L should sustain 2 h at ~20% cost, got {:.2}",
+            hybrid_long.performability.cost
+        ));
+    }
+    if let Some(t) = &throttle_long {
+        if t.performability.cost <= hybrid_long.performability.cost {
+            return Err(format!(
+                "pure throttling ({:.2}) should cost more than the hybrid ({:.2}) at 2 h",
+                t.performability.cost, hybrid_long.performability.cost
+            ));
+        }
+    }
+    Ok(format!(
+        "30 s: throttling at cost {:.2} with perf {:.0}%; 2 h: hybrid at cost {:.2} vs pure throttling {}",
+        throttle_short.performability.cost,
+        throttle_short
+            .performability
+            .outcome
+            .perf_during_outage
+            .to_percent(),
+        hybrid_long.performability.cost,
+        throttle_long
+            .map_or("infeasible".to_owned(), |t| format!("{:.2}", t.performability.cost)),
+    ))
+}
+
+/// Claim 5 (§6.2): applications diverge — Memcached recovers faster from a
+/// crash than from hibernation, while Web-search is the opposite.
+pub fn claim5_application_divergence() -> Check {
+    let outage = Seconds::new(30.0);
+    let crash_of = |w: Workload| {
+        evaluate(
+            &Cluster::rack(w),
+            &BackupConfig::min_cost(),
+            &Technique::crash(),
+            outage,
+        )
+        .outcome
+        .downtime
+        .expected
+    };
+    let hibernate_of = |w: Workload| {
+        evaluate(
+            &Cluster::rack(w),
+            &BackupConfig::no_dg(),
+            &Technique::hibernate(),
+            outage,
+        )
+        .outcome
+        .downtime
+        .expected
+    };
+    let mc_crash = crash_of(Workload::memcached());
+    let mc_hib = hibernate_of(Workload::memcached());
+    let ws_crash = crash_of(Workload::web_search());
+    let ws_hib = hibernate_of(Workload::web_search());
+    if mc_hib <= mc_crash {
+        return Err(format!(
+            "Memcached: hibernate ({:.0} s) should exceed crash ({:.0} s)",
+            mc_hib.value(),
+            mc_crash.value()
+        ));
+    }
+    if ws_hib >= ws_crash {
+        return Err(format!(
+            "Web-search: hibernate ({:.0} s) should be below crash ({:.0} s)",
+            ws_hib.value(),
+            ws_crash.value()
+        ));
+    }
+    Ok(format!(
+        "Memcached crash {:.0}s < hibernate {:.0}s; Web-search crash {:.0}s > hibernate {:.0}s",
+        mc_crash.value(),
+        mc_hib.value(),
+        ws_crash.value(),
+        ws_hib.value()
+    ))
+}
+
+/// Claim 6 (§7): the Google-2011 TCO break-even for skipping DGs sits near
+/// five hours of outage per year.
+pub fn claim6_tco_crossover() -> Check {
+    let b = TcoModel::google_2011().breakeven_minutes_per_year();
+    if !(250.0..=350.0).contains(&b) {
+        return Err(format!("breakeven {b:.0} min/yr outside 250–350"));
+    }
+    Ok(format!("breakeven {b:.0} min/yr (~{:.1} h)", b / 60.0))
+}
+
+/// Runs every claim check.
+#[must_use]
+pub fn verify_all() -> Vec<(&'static str, Check)> {
+    vec![
+        ("claim1 DG-free to 40 min", claim1_dg_free_to_40_minutes()),
+        (
+            "claim2 UPS matches MaxPerf to 100 min",
+            claim2_ups_matches_maxperf_to_100_minutes(),
+        ),
+        ("claim3 40% perf ↔ 40% cost", claim3_degradation_buys_savings()),
+        ("claim4 technique ordering", claim4_technique_ordering()),
+        ("claim5 app divergence", claim5_application_divergence()),
+        ("claim6 TCO crossover ~5 h", claim6_tco_crossover()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_claims_hold() {
+        for (name, check) in verify_all() {
+            assert!(check.is_ok(), "{name}: {}", check.unwrap_err());
+        }
+    }
+}

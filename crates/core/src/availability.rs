@@ -1,0 +1,237 @@
+//! Yearly availability analysis: Monte-Carlo over sampled outage traces.
+//!
+//! The paper evaluates individual outages; an operator ultimately cares
+//! about the *yearly* picture — expected downtime, availability "nines"
+//! (the currency of the Tier classification the paper cites), and how often
+//! volatile state is lost — given the Figure 1 outage statistics, partial
+//! battery recharge between back-to-back outages, and a chosen
+//! configuration + technique. This module samples many synthetic years and
+//! aggregates.
+
+use crate::cost::CostModel;
+use dcb_outage::OutageSampler;
+use dcb_power::BackupConfig;
+use dcb_sim::{Cluster, OutageSim, Technique};
+use dcb_units::{Fraction, Seconds};
+
+/// Aggregated availability statistics for one (configuration, technique)
+/// choice.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AvailabilityReport {
+    /// Configuration label.
+    pub config: String,
+    /// Technique name.
+    pub technique: String,
+    /// Normalized yearly backup cost (MaxPerf = 1).
+    pub cost: f64,
+    /// Number of sampled years.
+    pub years: usize,
+    /// Total outages simulated.
+    pub outages: usize,
+    /// Mean yearly downtime.
+    pub mean_yearly_downtime: Seconds,
+    /// 95th-percentile yearly downtime.
+    pub p95_yearly_downtime: Seconds,
+    /// Mean availability over the sampled years.
+    pub mean_availability: Fraction,
+    /// Availability in "nines" (−log₁₀ of mean unavailability).
+    pub nines: f64,
+    /// Fraction of outages in which volatile state was lost.
+    pub state_loss_rate: f64,
+    /// Mean battery wear per year, in equivalent full cycles — §2's
+    /// backup-duty-barely-wears-the-pack point, quantified (lead-acid EOL
+    /// is ~500 cycles over its 4-year life, i.e. a 125-cycle/yr budget).
+    pub mean_yearly_battery_cycles: f64,
+}
+
+/// Runs the Monte-Carlo analysis: `years` sampled years of outages (seeded,
+/// reproducible) simulated against `config` + `technique`.
+///
+/// # Panics
+///
+/// Panics if `years` is zero.
+///
+/// ```
+/// use dcb_core::availability::analyze;
+/// use dcb_core::{BackupConfig, Cluster, Technique};
+/// use dcb_workload::Workload;
+///
+/// let report = analyze(
+///     &Cluster::rack(Workload::specjbb()),
+///     &BackupConfig::max_perf(),
+///     &Technique::ride_through(),
+///     50,
+///     42,
+/// );
+/// // Today's practice: no downtime from any sampled outage.
+/// assert_eq!(report.mean_yearly_downtime.value(), 0.0);
+/// ```
+#[must_use]
+pub fn analyze(
+    cluster: &Cluster,
+    config: &BackupConfig,
+    technique: &Technique,
+    years: usize,
+    seed: u64,
+) -> AvailabilityReport {
+    assert!(years > 0, "need at least one sampled year");
+    let span = Seconds::from_hours(365.0 * 24.0);
+    let sim = OutageSim::new(*cluster, config.clone(), technique.clone());
+    let mut sampler = OutageSampler::seeded(seed);
+    let mut yearly_downtime = Vec::with_capacity(years);
+    let mut availability_sum = 0.0;
+    let mut outages = 0usize;
+    let mut losses = 0usize;
+    let mut cycles = 0.0;
+    for _ in 0..years {
+        let trace = sampler.sample_year();
+        let outcome = sim.run_trace(&trace, span);
+        outages += outcome.outcomes.len();
+        losses += outcome.state_losses();
+        cycles += outcome.battery_cycles;
+        availability_sum += outcome.availability().value();
+        yearly_downtime.push(outcome.total_downtime());
+    }
+    yearly_downtime.sort_by(|a, b| a.partial_cmp(b).expect("downtime is finite"));
+    let mean_yearly_downtime =
+        yearly_downtime.iter().copied().sum::<Seconds>() / years as f64;
+    let p95 = yearly_downtime[((years - 1) as f64 * 0.95) as usize];
+    let mean_availability = Fraction::new(availability_sum / years as f64);
+    let unavailability = 1.0 - mean_availability.value();
+    AvailabilityReport {
+        config: config.label().to_owned(),
+        technique: technique.name().to_owned(),
+        cost: CostModel::paper().normalized_cost(config),
+        years,
+        outages,
+        mean_yearly_downtime,
+        p95_yearly_downtime: p95,
+        mean_availability,
+        nines: if unavailability <= 0.0 {
+            f64::INFINITY
+        } else {
+            -unavailability.log10()
+        },
+        state_loss_rate: if outages == 0 {
+            0.0
+        } else {
+            losses as f64 / outages as f64
+        },
+        mean_yearly_battery_cycles: cycles / years as f64,
+    }
+}
+
+/// Builds the cost–availability frontier over a set of candidate
+/// (configuration, technique) choices, sorted by cost.
+#[must_use]
+pub fn frontier(
+    cluster: &Cluster,
+    candidates: &[(BackupConfig, Technique)],
+    years: usize,
+    seed: u64,
+) -> Vec<AvailabilityReport> {
+    let mut reports: Vec<AvailabilityReport> = candidates
+        .iter()
+        .map(|(config, technique)| analyze(cluster, config, technique, years, seed))
+        .collect();
+    reports.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"));
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_workload::Workload;
+
+    fn cluster() -> Cluster {
+        Cluster::rack(Workload::specjbb())
+    }
+
+    #[test]
+    fn max_perf_has_effectively_unbounded_nines() {
+        let r = analyze(
+            &cluster(),
+            &BackupConfig::max_perf(),
+            &Technique::ride_through(),
+            30,
+            1,
+        );
+        assert_eq!(r.state_loss_rate, 0.0);
+        assert!(r.nines > 6.0);
+    }
+
+    #[test]
+    fn min_cost_availability_is_much_worse() {
+        let bad = analyze(
+            &cluster(),
+            &BackupConfig::min_cost(),
+            &Technique::crash(),
+            30,
+            1,
+        );
+        let good = analyze(
+            &cluster(),
+            &BackupConfig::max_perf(),
+            &Technique::ride_through(),
+            30,
+            1,
+        );
+        assert!(bad.nines < good.nines);
+        assert!(bad.mean_yearly_downtime.value() > 0.0);
+        assert!(bad.state_loss_rate > 0.9);
+    }
+
+    #[test]
+    fn battery_wear_stays_far_below_cycle_budget() {
+        // Backup duty costs single-digit equivalent cycles per year against
+        // a ~125 cycle/yr lead-acid budget.
+        let r = analyze(
+            &cluster(),
+            &BackupConfig::no_dg(),
+            &Technique::ride_through(),
+            40,
+            11,
+        );
+        assert!(
+            r.mean_yearly_battery_cycles < 10.0,
+            "cycles {}",
+            r.mean_yearly_battery_cycles
+        );
+        assert!(r.mean_yearly_battery_cycles > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = analyze(&cluster(), &BackupConfig::no_dg(), &Technique::sleep_l(), 10, 7);
+        let b = analyze(&cluster(), &BackupConfig::no_dg(), &Technique::sleep_l(), 10, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p95_at_least_mean_shape() {
+        let r = analyze(
+            &cluster(),
+            &BackupConfig::no_dg(),
+            &Technique::throttle_deepest(),
+            40,
+            3,
+        );
+        assert!(r.p95_yearly_downtime + Seconds::new(1e-9) >= r.mean_yearly_downtime * 0.5);
+    }
+
+    #[test]
+    fn frontier_sorted_by_cost_and_monotone_enough() {
+        let candidates = vec![
+            (BackupConfig::min_cost(), Technique::crash()),
+            (BackupConfig::small_pups(), Technique::sleep_l()),
+            (BackupConfig::large_e_ups(), Technique::ride_through()),
+            (BackupConfig::max_perf(), Technique::ride_through()),
+        ];
+        let reports = frontier(&cluster(), &candidates, 25, 5);
+        for pair in reports.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+        }
+        // The expensive end must dominate the cheap end on availability.
+        assert!(reports.last().unwrap().nines > reports.first().unwrap().nines);
+    }
+}

@@ -1,0 +1,381 @@
+//! The backup infrastructure cost model (§3, Equations 1–2, Table 1).
+
+use dcb_battery::Chemistry;
+use dcb_power::BackupConfig;
+use dcb_units::{
+    DollarsPerKwYear, DollarsPerKwhYear, DollarsPerYear, Kilowatts, KilowattHours, Seconds, Watts,
+};
+
+/// The per-unit cost parameters of Table 1.
+///
+/// All rates are already depreciated: 12 years for the DG and the UPS power
+/// electronics, 4 years for lead-acid batteries.
+///
+/// ```
+/// use dcb_core::cost::CostParams;
+/// let p = CostParams::paper();
+/// assert_eq!(p.dg_power.value(), 83.3);
+/// assert_eq!(p.ups_energy.value(), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostParams {
+    /// Amortized DG cost per kW of rated power (`DGPowerCost`).
+    pub dg_power: DollarsPerKwYear,
+    /// Amortized UPS power-electronics cost per kW (`UPSPowerCost`).
+    pub ups_power: DollarsPerKwYear,
+    /// Amortized battery cost per kWh beyond the base capacity
+    /// (`UPSEnergyCost`).
+    pub ups_energy: DollarsPerKwhYear,
+    /// Battery runtime that comes free with the power capacity
+    /// (`FreeRunTime`).
+    pub free_runtime: Seconds,
+}
+
+impl CostParams {
+    /// Lead-acid battery lifetime baked into the paper's `$50/kWh/yr`.
+    const LEAD_ACID_LIFETIME_YEARS: f64 = 4.0;
+
+    /// Table 1 of the paper.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            dg_power: DollarsPerKwYear::new(83.3),
+            ups_power: DollarsPerKwYear::new(50.0),
+            ups_energy: DollarsPerKwhYear::new(50.0),
+            free_runtime: Seconds::from_minutes(2.0),
+        }
+    }
+
+    /// Adjusts the battery-energy rate for a chemistry: capital cost scales
+    /// by the chemistry's relative $/kWh, depreciation by its lifetime
+    /// (the §7 "newer battery technologies" discussion).
+    #[must_use]
+    pub fn for_chemistry(mut self, chemistry: Chemistry) -> Self {
+        let capital_per_kwh = self.ups_energy.value() * Self::LEAD_ACID_LIFETIME_YEARS;
+        let adjusted =
+            capital_per_kwh * chemistry.relative_energy_cost() / chemistry.lifetime().value();
+        self.ups_energy = DollarsPerKwhYear::new(adjusted);
+        self.ups_power = DollarsPerKwYear::new(
+            self.ups_power.value() * chemistry.relative_power_cost(),
+        );
+        self
+    }
+
+    /// Adjusts the UPS rates and free runtime for a placement (§3's
+    /// rack-level vs centralized comparison; the tech report's server-level
+    /// batteries).
+    #[must_use]
+    pub fn for_placement(mut self, placement: dcb_power::UpsPlacement) -> Self {
+        self.ups_power =
+            DollarsPerKwYear::new(self.ups_power.value() * placement.power_cost_factor());
+        self.ups_energy =
+            DollarsPerKwhYear::new(self.ups_energy.value() * placement.energy_cost_factor());
+        self.free_runtime = placement.free_runtime();
+        self
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// An itemized yearly backup cost.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostBreakdown {
+    /// DG cap-ex (Equation 1).
+    pub dg: DollarsPerYear,
+    /// UPS power-electronics cap-ex.
+    pub ups_power: DollarsPerYear,
+    /// Battery energy cap-ex beyond the free base capacity.
+    pub ups_energy: DollarsPerYear,
+}
+
+impl CostBreakdown {
+    /// Total yearly cost.
+    #[must_use]
+    pub fn total(&self) -> DollarsPerYear {
+        self.dg + self.ups_power + self.ups_energy
+    }
+}
+
+/// The cost model: prices a [`BackupConfig`] for a datacenter of a given
+/// peak power.
+///
+/// ```
+/// use dcb_core::cost::CostModel;
+/// use dcb_core::BackupConfig;
+/// use dcb_units::Kilowatts;
+///
+/// let model = CostModel::paper();
+/// // Table 2 row 1: a 1 MW datacenter with today's backup costs ~$0.13M/yr.
+/// let cost = model.annual_cost(&BackupConfig::max_perf(), Kilowatts::from_megawatts(1.0).to_watts());
+/// assert!((cost.total().value() - 133_300.0).abs() < 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    params: CostParams,
+}
+
+impl CostModel {
+    /// The paper's Table 1 parameterization.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            params: CostParams::paper(),
+        }
+    }
+
+    /// A model with custom parameters.
+    #[must_use]
+    pub fn with_params(params: CostParams) -> Self {
+        Self { params }
+    }
+
+    /// The underlying parameters.
+    #[must_use]
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Prices `config` for a datacenter with `dc_peak` nameplate power,
+    /// applying the configuration's battery chemistry.
+    #[must_use]
+    pub fn annual_cost(&self, config: &BackupConfig, dc_peak: Watts) -> CostBreakdown {
+        let params = self.params.for_chemistry(config.chemistry());
+        let peak_kw = dc_peak.to_kilowatts();
+
+        // Equation 1: DGCost = DGPowerCost × DGPowerCapacity.
+        let dg_capacity = Kilowatts::new(peak_kw.value() * config.dg_power().value());
+        let dg = params.dg_power * dg_capacity;
+
+        // Equation 2: UPSCost = UPSPowerCost × UPSPowerCapacity
+        //   + UPSEnergyCost × (UPSEnergyCapacity − UPSPowerCapacity × FreeRunTime).
+        let ups_capacity = Kilowatts::new(peak_kw.value() * config.ups_power().value());
+        let ups_power = params.ups_power * ups_capacity;
+        let energy_capacity =
+            KilowattHours::new(ups_capacity.value() * config.ups_runtime().to_hours());
+        let free_energy =
+            KilowattHours::new(ups_capacity.value() * params.free_runtime.to_hours());
+        let billable = (energy_capacity - free_energy).max(KilowattHours::ZERO);
+        let ups_energy = params.ups_energy * billable;
+
+        CostBreakdown {
+            dg,
+            ups_power,
+            ups_energy,
+        }
+    }
+
+    /// Cost of `config` relative to today's practice (`MaxPerf`) at the
+    /// same peak power — the normalization of Table 3 and all the cost
+    /// plots.
+    #[must_use]
+    pub fn normalized_cost(&self, config: &BackupConfig) -> f64 {
+        // Normalization is scale-free; use a 1 MW reference.
+        let peak = Kilowatts::from_megawatts(1.0).to_watts();
+        let baseline = self
+            .annual_cost(&BackupConfig::max_perf(), peak)
+            .total()
+            .value();
+        self.annual_cost(config, peak).total().value() / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> CostModel {
+        CostModel::paper()
+    }
+
+    #[test]
+    fn table2_row1_one_megawatt_two_minutes() {
+        let cost = model().annual_cost(
+            &BackupConfig::max_perf(),
+            Kilowatts::from_megawatts(1.0).to_watts(),
+        );
+        assert!((cost.dg.value() - 83_300.0).abs() < 1.0);
+        assert!((cost.ups_power.value() - 50_000.0).abs() < 1.0);
+        assert!(cost.ups_energy.value().abs() < 1.0, "base energy is free");
+        assert!((cost.total().value() - 133_300.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn table2_row2_ten_megawatts_two_minutes() {
+        let cost = model().annual_cost(
+            &BackupConfig::max_perf(),
+            Kilowatts::from_megawatts(10.0).to_watts(),
+        );
+        assert!((cost.dg.value() - 833_000.0).abs() < 10.0);
+        assert!((cost.total().value() - 1_333_000.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn table2_row3_ten_megawatts_42_minutes() {
+        let config = BackupConfig::custom(
+            "42min",
+            dcb_units::Fraction::ONE,
+            dcb_units::Fraction::ONE,
+            Seconds::from_minutes(42.0),
+        );
+        let cost = model().annual_cost(&config, Kilowatts::from_megawatts(10.0).to_watts());
+        // UPS cost ≈ $0.83M/yr; total ≈ $1.66M/yr.
+        let ups = cost.ups_power + cost.ups_energy;
+        assert!((ups.value() - 833_333.0).abs() < 1_000.0, "ups {}", ups);
+        assert!((cost.total().value() - 1_666_333.0).abs() < 1_500.0);
+    }
+
+    #[test]
+    fn table3_normalized_costs() {
+        let m = model();
+        let expect = [
+            (BackupConfig::max_perf(), 1.00),
+            (BackupConfig::min_cost(), 0.00),
+            (BackupConfig::no_dg(), 0.38),
+            (BackupConfig::no_ups(), 0.63),
+            (BackupConfig::dg_small_pups(), 0.81),
+            (BackupConfig::small_dg_small_pups(), 0.50),
+            (BackupConfig::small_pups(), 0.19),
+            (BackupConfig::large_e_ups(), 0.55),
+            (BackupConfig::small_p_large_e_ups(), 0.38),
+        ];
+        for (config, paper_value) in expect {
+            let got = m.normalized_cost(&config);
+            assert!(
+                (got - paper_value).abs() < 0.006,
+                "{}: paper {paper_value}, model {got:.4}",
+                config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn twenty_fold_energy_increase_is_only_24_percent_cost() {
+        // §3 observation (ii): 2 min → 42 min (~20×) of UPS energy raises
+        // the total cost by just ~24%.
+        let m = model();
+        let base = m.normalized_cost(&BackupConfig::max_perf());
+        let big = m.normalized_cost(&BackupConfig::custom(
+            "42min",
+            dcb_units::Fraction::ONE,
+            dcb_units::Fraction::ONE,
+            Seconds::from_minutes(42.0),
+        ));
+        let increase = big / base - 1.0;
+        assert!((increase - 0.25).abs() < 0.02, "increase {increase}");
+    }
+
+    #[test]
+    fn ups_cheaper_than_dg_below_40_minutes() {
+        // §3 observation (iii): for < ~40 min of runtime, UPS battery
+        // capacity costs less than the DG it replaces.
+        let m = model();
+        let dg_cost = m
+            .annual_cost(&BackupConfig::no_ups(), Watts::new(1e6))
+            .dg
+            .value();
+        for minutes in [5.0, 20.0, 40.0] {
+            let ups_only = BackupConfig::custom(
+                "ups",
+                dcb_units::Fraction::ZERO,
+                dcb_units::Fraction::ONE,
+                Seconds::from_minutes(minutes),
+            );
+            let ups_cost = m.annual_cost(&ups_only, Watts::new(1e6)).total().value();
+            assert!(
+                ups_cost <= dg_cost * 1.01,
+                "{minutes} min UPS (${ups_cost}) should cost <= DG (${dg_cost})"
+            );
+        }
+        // And well above 40 minutes it is no longer cheaper.
+        let long = BackupConfig::custom(
+            "ups",
+            dcb_units::Fraction::ZERO,
+            dcb_units::Fraction::ONE,
+            Seconds::from_minutes(80.0),
+        );
+        assert!(m.annual_cost(&long, Watts::new(1e6)).total().value() > dg_cost);
+    }
+
+    #[test]
+    fn placement_adjusts_rates_and_free_runtime() {
+        use dcb_power::UpsPlacement;
+        let central = CostParams::paper().for_placement(UpsPlacement::Centralized);
+        assert!(central.ups_power.value() > CostParams::paper().ups_power.value());
+        assert_eq!(central.free_runtime, Seconds::from_minutes(4.0));
+        let server = CostParams::paper().for_placement(UpsPlacement::ServerLevel);
+        assert!(server.ups_power.value() < CostParams::paper().ups_power.value());
+        assert_eq!(server.free_runtime, Seconds::from_minutes(1.0));
+        // Rack level is identity.
+        assert_eq!(
+            CostParams::paper().for_placement(UpsPlacement::RackLevel),
+            CostParams::paper()
+        );
+    }
+
+    #[test]
+    fn rack_level_beats_centralized_for_the_paper_configs() {
+        // §3's stated reason rack-level placement won: cost (and efficiency).
+        use dcb_power::UpsPlacement;
+        let rack = CostModel::paper();
+        let central =
+            CostModel::with_params(CostParams::paper().for_placement(UpsPlacement::Centralized));
+        let peak = Kilowatts::from_megawatts(1.0).to_watts();
+        for config in [BackupConfig::no_dg(), BackupConfig::large_e_ups()] {
+            assert!(
+                central.annual_cost(&config, peak).total()
+                    > rack.annual_cost(&config, peak).total(),
+                "{}",
+                config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn lithium_energy_costs_more_per_year() {
+        let lead = CostParams::paper();
+        let li = CostParams::paper().for_chemistry(Chemistry::LithiumIon);
+        assert!(li.ups_energy.value() > lead.ups_energy.value());
+        assert!(li.ups_power.value() < lead.ups_power.value());
+    }
+
+    proptest! {
+        #[test]
+        fn cost_linear_in_peak_power(mw in 0.1f64..100.0) {
+            let m = model();
+            let config = BackupConfig::max_perf();
+            let one = m.annual_cost(&config, Kilowatts::from_megawatts(mw).to_watts()).total();
+            let two = m.annual_cost(&config, Kilowatts::from_megawatts(2.0 * mw).to_watts()).total();
+            prop_assert!((two.value() - 2.0 * one.value()).abs() < 1e-6 * two.value().abs().max(1.0));
+        }
+
+        #[test]
+        fn cost_monotone_in_runtime(m1 in 2.0f64..500.0, extra in 0.0f64..500.0) {
+            let m = model();
+            let mk = |mins: f64| BackupConfig::custom(
+                "x",
+                dcb_units::Fraction::ZERO,
+                dcb_units::Fraction::ONE,
+                Seconds::from_minutes(mins),
+            );
+            let a = m.normalized_cost(&mk(m1));
+            let b = m.normalized_cost(&mk(m1 + extra));
+            prop_assert!(b + 1e-12 >= a);
+        }
+
+        #[test]
+        fn normalized_cost_nonnegative(dg in 0.0f64..=1.0, ups in 0.0f64..=1.0, mins in 0.0f64..240.0) {
+            let config = BackupConfig::custom(
+                "x",
+                dcb_units::Fraction::new(dg),
+                dcb_units::Fraction::new(ups),
+                Seconds::from_minutes(mins),
+            );
+            prop_assert!(model().normalized_cost(&config) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! `dcb-core` — the backup-power underprovisioning framework of
+//! *Underprovisioning Backup Power Infrastructure for Datacenters*
+//! (Wang et al., ASPLOS 2014).
+//!
+//! The paper's contribution is a **framework to quantify the cost of backup
+//! capacity and evaluate the cost / performance / availability
+//! ("performability") trade-offs of underprovisioning it**, together with
+//! outage-handling techniques that operate within a reduced capacity. This
+//! crate implements that framework on top of the substrate crates:
+//!
+//! * [`cost`] — the cap-ex model of §3 (Equations 1–2, Table 1) pricing any
+//!   [`dcb_power::BackupConfig`], including the Li-ion variant of §7;
+//! * [`evaluate`] — runs the outage simulator and reduces its outcomes to
+//!   [`evaluate::Performability`] points; sweeps configurations ×
+//!   techniques × outage durations (Figures 5–9); selects the best
+//!   technique per configuration as §6.1 does;
+//! * [`sizing`] — finds the **minimum-cost UPS** (power × energy) that
+//!   makes a given technique feasible for a given outage (the cost bars of
+//!   Figure 6);
+//! * [`tco`] — the revenue-loss versus DG-savings analysis of §7
+//!   (Figure 10), with the Google-2011 parameterization;
+//! * [`online`] — the §7 adaptive controller for outages of *unknown*
+//!   duration, driven by the Markov duration predictor of `dcb-outage`;
+//! * [`availability`] — Monte-Carlo yearly availability analysis (downtime
+//!   distribution, "nines", state-loss rate) over sampled outage traces
+//!   with battery recharge between back-to-back outages;
+//! * [`planner`] — capacity planning for heterogeneous applications with
+//!   per-application performability targets (§7);
+//! * [`nvdimm`] and [`geo`] — the remaining §7 enhancements: NVDIMM
+//!   persistence priced against its DRAM premium, and geo-replication
+//!   failover backstopping long outages.
+//!
+//! Re-exported for convenience: the Table 3 configuration catalogue
+//! ([`BackupConfig`]), the technique catalogue ([`Technique`]), and the
+//! simulator types.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcb_core::cost::CostModel;
+//! use dcb_core::BackupConfig;
+//!
+//! let model = CostModel::paper();
+//! // Eliminating the DG keeps only 38% of today's backup cost (Table 3).
+//! let ratio = model.normalized_cost(&BackupConfig::no_dg());
+//! assert!((ratio - 0.38).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod capping;
+pub mod cost;
+pub mod geo;
+pub mod evaluate;
+pub mod nvdimm;
+pub mod online;
+pub mod planner;
+pub mod sizing;
+pub mod tco;
+pub mod technique;
+pub mod tier;
+
+pub use dcb_power::BackupConfig;
+pub use dcb_sim::{Cluster, OutageSim, SimOutcome, Technique};

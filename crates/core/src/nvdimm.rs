@@ -1,0 +1,135 @@
+//! NVDIMM cost accounting for the §7 enhancement.
+//!
+//! NVDIMMs (supercapacitor-backed DRAM + NAND flash in the DIMM socket)
+//! persist volatile state on power failure with no external backup power —
+//! but they carry a capital premium over plain DRAM. This module prices
+//! that premium so NVDIMM-based outage handling can be compared on the same
+//! normalized-cost axis as the UPS/DG configurations: the cost of a
+//! provisioning choice becomes *backup infrastructure + NVDIMM premium*.
+
+use crate::cost::CostModel;
+use crate::evaluate::Performability;
+use dcb_power::BackupConfig;
+use dcb_sim::{Cluster, OutageSim, Technique};
+use dcb_units::{DollarsPerYear, Seconds};
+
+/// Pricing for the NVDIMM premium.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NvdimmCost {
+    /// Amortized premium over plain DRAM, `$ / GB / year`.
+    pub premium_per_gb_year: f64,
+}
+
+impl NvdimmCost {
+    /// Default pricing: an ~$8/GB capital premium over DRAM at the paper's
+    /// timeframe, depreciated over a 4-year server lifetime → $2/GB/yr.
+    #[must_use]
+    pub fn paper_era() -> Self {
+        Self {
+            premium_per_gb_year: 2.0,
+        }
+    }
+
+    /// Yearly premium for equipping a cluster with enough NVDIMM capacity
+    /// to hold its workload's volatile state.
+    #[must_use]
+    pub fn cluster_premium(&self, cluster: &Cluster) -> DollarsPerYear {
+        let per_server = cluster.workload().memory_footprint().value() * self.premium_per_gb_year;
+        DollarsPerYear::new(per_server * f64::from(cluster.size()))
+    }
+
+    /// Premium normalized against the MaxPerf backup cost of the same
+    /// cluster (so it composes with [`CostModel::normalized_cost`]).
+    #[must_use]
+    pub fn normalized_premium(&self, cluster: &Cluster) -> f64 {
+        let baseline = CostModel::paper()
+            .annual_cost(&BackupConfig::max_perf(), cluster.peak_power())
+            .total();
+        if baseline.value() <= 0.0 {
+            return 0.0;
+        }
+        self.cluster_premium(cluster).value() / baseline.value()
+    }
+}
+
+impl Default for NvdimmCost {
+    fn default() -> Self {
+        Self::paper_era()
+    }
+}
+
+/// Evaluates an NVDIMM-equipped cluster: like
+/// [`crate::evaluate::evaluate`], but the reported normalized cost includes
+/// the NVDIMM premium on top of the backup infrastructure.
+#[must_use]
+pub fn evaluate_with_nvdimm(
+    cluster: &Cluster,
+    config: &BackupConfig,
+    technique: &Technique,
+    duration: Seconds,
+    pricing: &NvdimmCost,
+) -> Performability {
+    let outcome = OutageSim::new(*cluster, config.clone(), technique.clone()).run(duration);
+    Performability {
+        config: format!("{} + NVDIMM", config.label()),
+        technique: technique.name().to_owned(),
+        cost: CostModel::paper().normalized_cost(config) + pricing.normalized_premium(cluster),
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_workload::Workload;
+
+    fn cluster() -> Cluster {
+        Cluster::rack(Workload::specjbb())
+    }
+
+    #[test]
+    fn premium_scales_with_state_and_cluster() {
+        let pricing = NvdimmCost::paper_era();
+        // 16 servers × 18 GB × $2/GB/yr = $576/yr.
+        assert!((pricing.cluster_premium(&cluster()).value() - 576.0).abs() < 1e-9);
+        let bigger = Cluster::rack(Workload::web_search());
+        assert!(pricing.cluster_premium(&bigger) > pricing.cluster_premium(&cluster()));
+    }
+
+    #[test]
+    fn normalized_premium_is_substantial_at_rack_scale() {
+        // Rack baseline backup (MaxPerf for 4 kW) is only ~$533/yr, so the
+        // NVDIMM premium actually *exceeds* it — the §7 trade-off is real.
+        let p = NvdimmCost::paper_era().normalized_premium(&cluster());
+        assert!(p > 0.5, "premium {p}");
+    }
+
+    #[test]
+    fn nvdimm_with_no_backup_beats_mincost_on_state() {
+        let p = evaluate_with_nvdimm(
+            &cluster(),
+            &BackupConfig::min_cost(),
+            &Technique::nvdimm(),
+            Seconds::from_minutes(30.0),
+            &NvdimmCost::paper_era(),
+        );
+        assert!(!p.outcome.state_lost);
+        assert!(p.cost > 0.0, "premium must show up in the cost");
+        assert!(p.config.contains("NVDIMM"));
+    }
+
+    #[test]
+    fn premium_normalization_scale_free_check() {
+        // Premium normalized against a 10 MW datacenter baseline is tiny.
+        let dc = Cluster::new(
+            40_000,
+            *cluster().spec(),
+            *cluster().workload(),
+        );
+        let p = NvdimmCost::paper_era().normalized_premium(&dc);
+        // Same ratio as the rack: premium is proportional to servers, and
+        // so is the baseline.
+        let rack = NvdimmCost::paper_era().normalized_premium(&cluster());
+        assert!((p - rack).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,288 @@
+//! Minimum-cost UPS sizing for a technique and outage duration.
+//!
+//! §6.2: "For each system technique, we use the lowest cost backup
+//! configuration (combination of UPS peak and energy capacity) at each of
+//! the offered performance and availability operating points." This module
+//! implements that search — the engine behind the cost bars of Figures 6–9.
+//! The DG is excluded ("the presence of DG ... is not only expensive but is
+//! also uninteresting in its performability implications for outages longer
+//! than the DG start-up time", §6.2).
+
+use crate::cost::CostModel;
+use crate::evaluate::{evaluate, Performability};
+use dcb_power::BackupConfig;
+use dcb_sim::{Cluster, Technique};
+use dcb_units::{Fraction, Seconds};
+
+/// Acceptance criteria for a sized configuration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SizingTargets {
+    /// Volatile state must survive the outage (set `false` only for the
+    /// crash baseline).
+    pub require_state_preserved: bool,
+    /// Minimum average normalized performance during the outage, if any.
+    pub min_perf: Option<f64>,
+    /// Maximum tolerable downtime, if any.
+    pub max_downtime: Option<Seconds>,
+}
+
+impl SizingTargets {
+    /// The Figure 6 criterion: the technique must run to plan and keep
+    /// state; performance and downtime are *reported*, not constrained.
+    #[must_use]
+    pub fn execute_to_plan() -> Self {
+        Self {
+            require_state_preserved: true,
+            min_perf: None,
+            max_downtime: None,
+        }
+    }
+
+    /// Whether a simulated point satisfies the targets.
+    #[must_use]
+    pub fn satisfied_by(&self, p: &Performability) -> bool {
+        let o = &p.outcome;
+        if !o.feasible {
+            return false;
+        }
+        if self.require_state_preserved && o.state_lost {
+            return false;
+        }
+        if let Some(min_perf) = self.min_perf {
+            if o.perf_during_outage.value() + 1e-12 < min_perf {
+                return false;
+            }
+        }
+        if let Some(max_downtime) = self.max_downtime {
+            if o.downtime.expected > max_downtime {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Default for SizingTargets {
+    fn default() -> Self {
+        Self::execute_to_plan()
+    }
+}
+
+/// A sized operating point: the cheapest UPS-only configuration found and
+/// its evaluated performability.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SizedPoint {
+    /// The minimum-cost configuration.
+    pub config: BackupConfig,
+    /// Its evaluation at the sizing duration.
+    pub performability: Performability,
+}
+
+/// The UPS power fractions the search considers.
+const POWER_FRACTIONS: [f64; 8] = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
+
+fn ups_only(power: f64, runtime: Seconds) -> BackupConfig {
+    BackupConfig::custom(
+        format!("UPS {:.0}% × {:.0}min", power * 100.0, runtime.to_minutes()),
+        Fraction::ZERO,
+        Fraction::new(power),
+        runtime,
+    )
+}
+
+/// Finds the minimum-cost UPS-only configuration under which `technique`
+/// satisfies `targets` for an outage of `duration`.
+///
+/// For each candidate power fraction the minimal battery runtime is found
+/// by bisection (feasibility is monotone in energy), and the cheapest
+/// satisfying point across fractions wins. Returns `None` when no candidate
+/// satisfies the targets (the paper's "infeasible" bars).
+#[must_use]
+pub fn min_cost_ups(
+    cluster: &Cluster,
+    technique: &Technique,
+    duration: Seconds,
+    targets: &SizingTargets,
+) -> Option<SizedPoint> {
+    let model = CostModel::paper();
+    // Generous energy ceiling: ride the whole outage plus save overheads.
+    let max_runtime = (duration * 1.5 + Seconds::from_minutes(40.0))
+        .min(Seconds::from_minutes(480.0))
+        .max(Seconds::from_minutes(4.0));
+    let mut best: Option<(f64, SizedPoint)> = None;
+
+    for &power in &POWER_FRACTIONS {
+        let try_runtime = |runtime: Seconds| -> Option<Performability> {
+            let config = ups_only(power, runtime);
+            let p = evaluate(cluster, &config, technique, duration);
+            targets.satisfied_by(&p).then_some(p)
+        };
+        // The ceiling must work at this power level at all.
+        if try_runtime(max_runtime).is_none() {
+            continue;
+        }
+        // Bisect the minimal runtime to 1-minute granularity.
+        let mut lo = BackupConfig::FREE_RUNTIME;
+        let mut hi = max_runtime;
+        if try_runtime(lo).is_some() {
+            hi = lo;
+        } else {
+            while (hi - lo) > Seconds::from_minutes(1.0) {
+                let mid = (lo + hi) / 2.0;
+                if try_runtime(mid).is_some() {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+        let config = ups_only(power, hi);
+        let performability = evaluate(cluster, &config, technique, duration);
+        debug_assert!(targets.satisfied_by(&performability));
+        let cost = model.normalized_cost(&config);
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((
+                cost,
+                SizedPoint {
+                    config,
+                    performability,
+                },
+            ));
+        }
+    }
+    best.map(|(_, point)| point)
+}
+
+/// Sizes every technique in `catalog` at every duration — the full data
+/// behind one Figure 6/7/8/9 panel. Entries are `None` where the technique
+/// cannot meet the targets at any candidate UPS size.
+#[must_use]
+pub fn technique_tradeoffs(
+    cluster: &Cluster,
+    catalog: &[Technique],
+    durations: &[Seconds],
+    targets: &SizingTargets,
+) -> Vec<(Technique, Seconds, Option<SizedPoint>)> {
+    let mut rows = Vec::with_capacity(catalog.len() * durations.len());
+    for technique in catalog {
+        for &duration in durations {
+            // The crash baseline needs no backup at all: report MinCost.
+            let point = if technique.name() == Technique::crash().name() {
+                let config = BackupConfig::min_cost();
+                Some(SizedPoint {
+                    performability: evaluate(cluster, &config, technique, duration),
+                    config,
+                })
+            } else {
+                min_cost_ups(cluster, technique, duration, targets)
+            };
+            rows.push((technique.clone(), duration, point));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_workload::Workload;
+
+    fn cluster() -> Cluster {
+        Cluster::rack(Workload::specjbb())
+    }
+
+    #[test]
+    fn sleep_sizes_tiny_for_short_outage() {
+        // §6.2: "Sleep-L, which costs only 20% of MaxPerf" for a 30 s
+        // outage.
+        let point = min_cost_ups(
+            &cluster(),
+            &Technique::sleep_l(),
+            Seconds::new(30.0),
+            &SizingTargets::execute_to_plan(),
+        )
+        .expect("sleep-l must be sizable");
+        let cost = point.performability.cost;
+        assert!(cost <= 0.25, "cost {cost}");
+        assert!(!point.performability.outcome.state_lost);
+    }
+
+    #[test]
+    fn throttling_cheap_for_medium_outages() {
+        // §6.2: throttling matches MaxPerf performance at < 40% of its cost
+        // for outages up to 30 minutes (at some throttle depth).
+        let point = min_cost_ups(
+            &cluster(),
+            &Technique::throttle_deepest(),
+            Seconds::from_minutes(30.0),
+            &SizingTargets::execute_to_plan(),
+        )
+        .expect("throttling must be sizable for 30 min");
+        assert!(point.performability.cost < 0.45, "cost {}", point.performability.cost);
+    }
+
+    #[test]
+    fn ride_through_costs_more_than_throttling() {
+        let duration = Seconds::from_minutes(30.0);
+        let full = min_cost_ups(
+            &cluster(),
+            &Technique::ride_through(),
+            duration,
+            &SizingTargets::execute_to_plan(),
+        )
+        .expect("ride-through sizable");
+        let throttled = min_cost_ups(
+            &cluster(),
+            &Technique::throttle_deepest(),
+            duration,
+            &SizingTargets::execute_to_plan(),
+        )
+        .expect("throttle sizable");
+        assert!(full.performability.cost > throttled.performability.cost);
+    }
+
+    #[test]
+    fn hybrid_sleep_cheapest_for_long_outages() {
+        // §6.2: "for long outages ... Throttle+Sleep-L can sustain at as low
+        // as 20% cost" while pure throttling needs much more.
+        let duration = Seconds::from_minutes(120.0);
+        let hybrid = min_cost_ups(
+            &cluster(),
+            &Technique::throttle_sleep_l(dcb_server::ThrottleLevel {
+                p: dcb_server::PState::slowest(),
+                t: dcb_server::TState::full(),
+            }),
+            duration,
+            &SizingTargets::execute_to_plan(),
+        )
+        .expect("hybrid sizable for 2 h");
+        assert!(hybrid.performability.cost <= 0.30, "cost {}", hybrid.performability.cost);
+    }
+
+    #[test]
+    fn targets_filter_low_performance() {
+        let strict = SizingTargets {
+            require_state_preserved: true,
+            min_perf: Some(0.99),
+            max_downtime: Some(Seconds::ZERO),
+        };
+        // Sleeping gives zero perf, so it can never satisfy the strict
+        // target.
+        let point = min_cost_ups(&cluster(), &Technique::sleep(), Seconds::new(30.0), &strict);
+        assert!(point.is_none());
+    }
+
+    #[test]
+    fn tradeoffs_table_covers_catalog() {
+        let rows = technique_tradeoffs(
+            &cluster(),
+            &[Technique::crash(), Technique::sleep_l()],
+            &[Seconds::new(30.0)],
+            &SizingTargets::execute_to_plan(),
+        );
+        assert_eq!(rows.len(), 2);
+        // Crash maps to the MinCost config.
+        let (_, _, crash_point) = &rows[0];
+        assert_eq!(crash_point.as_ref().unwrap().config.label(), "MinCost");
+    }
+}

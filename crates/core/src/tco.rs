@@ -1,0 +1,197 @@
+//! Total-cost-of-ownership analysis: revenue loss versus DG savings (§7,
+//! Figure 10).
+
+use crate::cost::CostParams;
+
+/// The TCO model of §7: during an outage the operator loses revenue and
+/// wastes server depreciation; not provisioning DGs saves their amortized
+/// cost. The break-even yearly outage duration tells an organization
+/// whether skipping the DG is profitable.
+///
+/// ```
+/// use dcb_core::tco::TcoModel;
+///
+/// let google = TcoModel::google_2011();
+/// // The paper: "the cross-over point ... turns out to be around 5 hours
+/// // per year".
+/// let breakeven_hours = google.breakeven_minutes_per_year() / 60.0;
+/// assert!((breakeven_hours - 5.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TcoModel {
+    /// Revenue lost per kW of datacenter capacity per minute of outage.
+    pub revenue_per_kw_min: f64,
+    /// Server capital depreciation wasted per kW per minute of outage.
+    pub depreciation_per_kw_min: f64,
+    /// Amortized DG cost saved per kW per year by not provisioning it.
+    pub dg_cost_per_kw_year: f64,
+}
+
+impl TcoModel {
+    /// Minutes in a year.
+    const MINUTES_PER_YEAR: f64 = 365.0 * 24.0 * 60.0;
+
+    /// The paper's Google-2011 parameterization: 260 MW of datacenter
+    /// capacity \[31\], $38 B revenue \[25\] (conservatively all attributed to
+    /// datacenters), $2000 servers depreciated over 4 years at ~250 W each,
+    /// and the Table 1 DG cost.
+    #[must_use]
+    pub fn google_2011() -> Self {
+        Self::from_organization(38e9, 260_000.0, 2_000.0, 4.0, 250.0)
+    }
+
+    /// Builds the model from raw organizational figures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any figure is non-positive.
+    #[must_use]
+    pub fn from_organization(
+        yearly_revenue_dollars: f64,
+        capacity_kw: f64,
+        server_cost_dollars: f64,
+        server_lifetime_years: f64,
+        server_power_watts: f64,
+    ) -> Self {
+        assert!(
+            yearly_revenue_dollars > 0.0
+                && capacity_kw > 0.0
+                && server_cost_dollars > 0.0
+                && server_lifetime_years > 0.0
+                && server_power_watts > 0.0,
+            "all organizational figures must be positive"
+        );
+        let revenue_per_kw_min =
+            yearly_revenue_dollars / capacity_kw / Self::MINUTES_PER_YEAR;
+        let servers_per_kw = 1000.0 / server_power_watts;
+        let depreciation_per_kw_min = server_cost_dollars * servers_per_kw
+            / server_lifetime_years
+            / Self::MINUTES_PER_YEAR;
+        Self {
+            revenue_per_kw_min,
+            depreciation_per_kw_min,
+            dg_cost_per_kw_year: CostParams::paper().dg_power.value(),
+        }
+    }
+
+    /// Combined loss rate per kW-minute of unavailability.
+    #[must_use]
+    pub fn loss_per_kw_min(&self) -> f64 {
+        self.revenue_per_kw_min + self.depreciation_per_kw_min
+    }
+
+    /// Yearly outage cost (`$/kW/year`) for a given yearly outage duration
+    /// — the rising line of Figure 10.
+    #[must_use]
+    pub fn outage_cost_per_kw_year(&self, outage_minutes_per_year: f64) -> f64 {
+        self.loss_per_kw_min() * outage_minutes_per_year.max(0.0)
+    }
+
+    /// The horizontal "Cost of DG" line of Figure 10.
+    #[must_use]
+    pub fn dg_savings_per_kw_year(&self) -> f64 {
+        self.dg_cost_per_kw_year
+    }
+
+    /// Yearly outage minutes at which the outage cost equals the DG
+    /// savings — left of this, underprovisioning is profitable.
+    #[must_use]
+    pub fn breakeven_minutes_per_year(&self) -> f64 {
+        self.dg_cost_per_kw_year / self.loss_per_kw_min()
+    }
+
+    /// Whether skipping the DG is profitable at a given yearly outage
+    /// duration.
+    #[must_use]
+    pub fn profitable_without_dg(&self, outage_minutes_per_year: f64) -> bool {
+        self.outage_cost_per_kw_year(outage_minutes_per_year) < self.dg_savings_per_kw_year()
+    }
+
+    /// The Figure 10 curve: `(minutes/year, loss $/kW/year)` samples from 0
+    /// to `max_minutes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    #[must_use]
+    pub fn curve(&self, max_minutes: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "a curve needs at least two points");
+        (0..points)
+            .map(|i| {
+                let minutes = max_minutes * i as f64 / (points - 1) as f64;
+                (minutes, self.outage_cost_per_kw_year(minutes))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn google_revenue_rate_matches_paper() {
+        // §7: "$0.28/KW/min".
+        let m = TcoModel::google_2011();
+        assert!((m.revenue_per_kw_min - 0.28).abs() < 0.005, "{}", m.revenue_per_kw_min);
+    }
+
+    #[test]
+    fn google_depreciation_rate_matches_paper() {
+        // §7: "$0.003/KW/min".
+        let m = TcoModel::google_2011();
+        assert!(
+            (m.depreciation_per_kw_min - 0.003).abs() < 0.001,
+            "{}",
+            m.depreciation_per_kw_min
+        );
+    }
+
+    #[test]
+    fn breakeven_near_five_hours() {
+        let m = TcoModel::google_2011();
+        let b = m.breakeven_minutes_per_year();
+        assert!((250.0..350.0).contains(&b), "breakeven {b} min");
+        assert!(m.profitable_without_dg(b - 1.0));
+        assert!(!m.profitable_without_dg(b + 1.0));
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        let m = TcoModel::google_2011();
+        let curve = m.curve(500.0, 11);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0], (0.0, 0.0));
+        assert!((curve[10].0 - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TcoModel::from_organization(1e9, 0.0, 2000.0, 4.0, 250.0);
+    }
+
+    proptest! {
+        #[test]
+        fn loss_monotone_in_outage_minutes(a in 0.0f64..1e5, extra in 0.0f64..1e5) {
+            let m = TcoModel::google_2011();
+            prop_assert!(
+                m.outage_cost_per_kw_year(a + extra) >= m.outage_cost_per_kw_year(a)
+            );
+        }
+
+        #[test]
+        fn breakeven_scales_inversely_with_revenue(factor in 0.5f64..4.0) {
+            let base = TcoModel::google_2011();
+            let richer = TcoModel::from_organization(
+                38e9 * factor, 260_000.0, 2_000.0, 4.0, 250.0,
+            );
+            if factor > 1.0 {
+                prop_assert!(
+                    richer.breakeven_minutes_per_year() < base.breakeven_minutes_per_year()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Technique metadata: the backup-capacity demand of Table 5.
+
+use dcb_migration::MigrationModel;
+use dcb_server::{ServerSpec, TransitionTimes};
+use dcb_sim::{InitialAction, Technique};
+use dcb_units::{Seconds, Watts};
+use dcb_workload::Workload;
+
+/// What a technique demands of the backup infrastructure (Table 5): how
+/// long it takes to take effect after a power failure, and the per-server
+/// power once it is in effect.
+///
+/// ```
+/// use dcb_core::technique::TechniqueDemand;
+/// use dcb_core::Technique;
+/// use dcb_server::ServerSpec;
+/// use dcb_workload::Workload;
+///
+/// let demand = TechniqueDemand::of(
+///     &Technique::sleep(),
+///     &Workload::specjbb(),
+///     &ServerSpec::paper_testbed(),
+/// );
+/// // Sleep takes effect in seconds and then draws a few watts per server.
+/// assert!(demand.time_to_effect.value() < 10.0);
+/// assert!(demand.power_after.value() < 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TechniqueDemand {
+    /// Time from the power failure until the technique's steady state.
+    pub time_to_effect: Seconds,
+    /// Per-server power draw once in effect.
+    pub power_after: Watts,
+    /// Peak per-server power drawn while the technique takes effect.
+    pub peak_during_transition: Watts,
+}
+
+impl TechniqueDemand {
+    /// Computes the demand profile of a technique for a workload on a
+    /// server.
+    #[must_use]
+    pub fn of(technique: &Technique, workload: &Workload, spec: &ServerSpec) -> Self {
+        let transitions = TransitionTimes::new(*spec);
+        let util = workload.utilization();
+        let hibernate_state = |proactive: bool| {
+            let raw = if proactive {
+                workload.dirty_profile().proactive_hibernate_residual
+            } else {
+                workload.hibernate_image()
+            };
+            raw / workload.hibernate_io_efficiency().value().max(1e-9)
+        };
+        match technique.initial() {
+            InitialAction::Continue(level) => Self {
+                time_to_effect: TransitionTimes::THROTTLE_SWITCH,
+                power_after: spec.active_power(level, util),
+                peak_during_transition: spec.active_power(level, util),
+            },
+            InitialAction::Crash => Self {
+                time_to_effect: Seconds::ZERO,
+                power_after: Watts::ZERO,
+                peak_during_transition: Watts::ZERO,
+            },
+            InitialAction::StartSleep(level) => Self {
+                time_to_effect: transitions.sleep_enter(level.effective_speed()),
+                power_after: spec.sleep_power(),
+                peak_during_transition: spec.active_power(level, util),
+            },
+            InitialAction::StartHibernate { level, proactive } => Self {
+                time_to_effect: transitions
+                    .hibernate_save(hibernate_state(proactive), level.effective_speed()),
+                power_after: Watts::ZERO,
+                peak_during_transition: spec.active_power(level, util),
+            },
+            InitialAction::PersistNvdimm => Self {
+                // The in-DIMM supercap flush is effectively instantaneous
+                // from the backup's perspective and draws nothing from it.
+                time_to_effect: Seconds::new(1.0),
+                power_after: Watts::ZERO,
+                peak_during_transition: Watts::ZERO,
+            },
+            InitialAction::StartRemoteSleep(level) => Self {
+                time_to_effect: transitions.sleep_enter(level.effective_speed()),
+                // S3 plus live NIC and memory controller.
+                power_after: spec.sleep_power() + Watts::new(10.0),
+                peak_during_transition: spec.active_power(level, util),
+            },
+            InitialAction::StartMigration {
+                proactive,
+                during,
+                after,
+            } => {
+                let state = if proactive {
+                    workload.dirty_profile().proactive_migration_residual
+                } else {
+                    workload.memory_footprint()
+                };
+                let plan =
+                    MigrationModel::xen_default().plan(state, workload.dirty_profile().dirty_rate);
+                Self {
+                    time_to_effect: plan.duration,
+                    // Consolidated 2:1: half the servers at post-throttle.
+                    power_after: spec.active_power(after, util) * 0.5,
+                    peak_during_transition: (spec.active_power(during, util) * 1.05)
+                        .min(spec.peak_power()),
+                }
+            }
+        }
+    }
+}
+
+/// The Table 5 rows: demand profiles for the six basic techniques, computed
+/// for a given workload.
+#[must_use]
+pub fn table5(workload: &Workload, spec: &ServerSpec) -> Vec<(Technique, TechniqueDemand)> {
+    [
+        Technique::throttle_deepest(),
+        Technique::migration(),
+        Technique::proactive_migration(),
+        Technique::sleep(),
+        Technique::hibernate(),
+        Technique::proactive_hibernate(),
+    ]
+    .into_iter()
+    .map(|t| {
+        let d = TechniqueDemand::of(&t, workload, spec);
+        (t, d)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_units::Fraction;
+
+    fn demand(t: &Technique) -> TechniqueDemand {
+        TechniqueDemand::of(t, &Workload::specjbb(), &ServerSpec::paper_testbed())
+    }
+
+    #[test]
+    fn throttling_is_nearly_instant() {
+        // Table 5: "Tens of µsecs".
+        let d = demand(&Technique::throttle_deepest());
+        assert!(d.time_to_effect.value() < 1e-3);
+    }
+
+    #[test]
+    fn sleep_effect_seconds_and_watts() {
+        // Table 5: Sleep ~10 secs, then 2-4W per DIMM (≈5 W/server here).
+        let d = demand(&Technique::sleep());
+        assert!(d.time_to_effect.value() <= 10.0);
+        assert!((d.power_after.value() - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn hibernation_takes_minutes_then_zero_watts() {
+        // Table 5: "Few mins", then 0 W.
+        let d = demand(&Technique::hibernate());
+        assert!(d.time_to_effect.to_minutes() > 1.0);
+        assert_eq!(d.power_after, Watts::ZERO);
+    }
+
+    #[test]
+    fn proactive_hibernation_is_faster_than_plain() {
+        let plain = demand(&Technique::hibernate());
+        let proactive = demand(&Technique::proactive_hibernate());
+        assert!(proactive.time_to_effect < plain.time_to_effect);
+        // ~22% reduction for Specjbb (Table 8: 230 s → 179 s).
+        let reduction = 1.0 - proactive.time_to_effect / plain.time_to_effect;
+        assert!((reduction - 0.22).abs() < 0.03, "reduction {reduction}");
+    }
+
+    #[test]
+    fn migration_takes_minutes_and_halves_power() {
+        let d = demand(&Technique::migration());
+        assert!((d.time_to_effect.to_minutes() - 10.0).abs() < 1.5);
+        let active = ServerSpec::paper_testbed()
+            .active_power(dcb_server::ThrottleLevel::NONE, Fraction::new(0.9));
+        assert!((d.power_after / active - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn table5_has_six_rows() {
+        let rows = table5(&Workload::specjbb(), &ServerSpec::paper_testbed());
+        assert_eq!(rows.len(), 6);
+    }
+}

@@ -1,0 +1,224 @@
+//! Iterative pre-copy live migration (Xen-style).
+
+use dcb_units::{Gigabytes, MegabytesPerSecond, Seconds};
+
+/// Parameters of the live-migration engine.
+///
+/// The default reproduces the paper's setup: Xen live migration over the
+/// testbed's 1 Gbps Ethernet, with an effective payload bandwidth of 80 %
+/// of line rate and the usual round-count and stop-and-copy cutoffs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MigrationModel {
+    bandwidth: MegabytesPerSecond,
+    max_rounds: u32,
+    stop_copy_threshold: Gigabytes,
+}
+
+/// The outcome of planning one migration: how long it takes and what moves.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MigrationPlan {
+    /// Wall-clock time from start to cut-over.
+    pub duration: Seconds,
+    /// Total bytes pushed over the wire (pre-copy rounds + stop-and-copy).
+    pub transferred: Gigabytes,
+    /// Number of pre-copy rounds performed.
+    pub rounds: u32,
+    /// Length of the final stop-and-copy pause (VM frozen).
+    pub pause: Seconds,
+    /// Whether pre-copy converged below the threshold (false = the round
+    /// limit forced a large stop-and-copy).
+    pub converged: bool,
+}
+
+impl MigrationModel {
+    /// Xen defaults on the paper's testbed: 1 Gbps NIC at 80 % payload
+    /// efficiency, at most 29 pre-copy rounds, 100 MB stop-and-copy cutoff.
+    #[must_use]
+    pub fn xen_default() -> Self {
+        Self {
+            bandwidth: MegabytesPerSecond::new(100.0),
+            max_rounds: 29,
+            stop_copy_threshold: Gigabytes::new(0.1),
+        }
+    }
+
+    /// Creates a model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is not strictly positive.
+    #[must_use]
+    pub fn new(
+        bandwidth: MegabytesPerSecond,
+        max_rounds: u32,
+        stop_copy_threshold: Gigabytes,
+    ) -> Self {
+        assert!(bandwidth.value() > 0.0, "bandwidth must be positive");
+        Self {
+            bandwidth,
+            max_rounds,
+            stop_copy_threshold,
+        }
+    }
+
+    /// Effective payload bandwidth.
+    #[must_use]
+    pub fn bandwidth(&self) -> MegabytesPerSecond {
+        self.bandwidth
+    }
+
+    /// Plans migrating `state` gigabytes of a VM whose pages dirty at
+    /// `dirty_rate`.
+    ///
+    /// Round 0 pushes the whole state; round *i* pushes what was dirtied
+    /// during round *i−1*. Pre-copy ends when a round's payload falls below
+    /// the stop-and-copy threshold or the round limit is hit, after which
+    /// the VM pauses for the final copy.
+    #[must_use]
+    pub fn plan(&self, state: Gigabytes, dirty_rate: MegabytesPerSecond) -> MigrationPlan {
+        if state.value() <= 0.0 {
+            return MigrationPlan {
+                duration: Seconds::ZERO,
+                transferred: Gigabytes::ZERO,
+                rounds: 0,
+                pause: Seconds::ZERO,
+                converged: true,
+            };
+        }
+        let mut to_send = state;
+        let mut transferred = Gigabytes::ZERO;
+        let mut duration = Seconds::ZERO;
+        let mut rounds = 0;
+        let mut converged = false;
+        while rounds < self.max_rounds {
+            if to_send <= self.stop_copy_threshold {
+                converged = true;
+                break;
+            }
+            let round_time = to_send.transfer_time(self.bandwidth);
+            duration += round_time;
+            transferred += to_send;
+            rounds += 1;
+            // Pages dirtied while this round was in flight, bounded by the
+            // VM's whole writable state.
+            to_send = dirty_rate.transferred_in(round_time).min(state);
+        }
+        let pause = to_send.transfer_time(self.bandwidth);
+        MigrationPlan {
+            duration: duration + pause,
+            transferred: transferred + to_send,
+            rounds,
+            pause,
+            converged,
+        }
+    }
+}
+
+impl Default for MigrationModel {
+    fn default() -> Self {
+        Self::xen_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_workload::Workload;
+    use proptest::prelude::*;
+
+    #[test]
+    fn specjbb_migrates_in_about_ten_minutes() {
+        let jbb = Workload::specjbb();
+        let plan = MigrationModel::xen_default()
+            .plan(jbb.memory_footprint(), jbb.dirty_profile().dirty_rate);
+        assert!(
+            (plan.duration.to_minutes() - 10.0).abs() < 1.5,
+            "got {} min",
+            plan.duration.to_minutes()
+        );
+        assert!(plan.converged);
+    }
+
+    #[test]
+    fn specjbb_proactive_residual_migrates_in_about_five_minutes() {
+        let jbb = Workload::specjbb();
+        let plan = MigrationModel::xen_default().plan(
+            jbb.dirty_profile().proactive_migration_residual,
+            jbb.dirty_profile().dirty_rate,
+        );
+        assert!(
+            (plan.duration.to_minutes() - 5.0).abs() < 1.0,
+            "got {} min",
+            plan.duration.to_minutes()
+        );
+    }
+
+    #[test]
+    fn zero_state_is_instant() {
+        let plan =
+            MigrationModel::xen_default().plan(Gigabytes::ZERO, MegabytesPerSecond::new(50.0));
+        assert_eq!(plan.duration, Seconds::ZERO);
+        assert_eq!(plan.rounds, 0);
+    }
+
+    #[test]
+    fn clean_vm_needs_one_round() {
+        let plan = MigrationModel::xen_default()
+            .plan(Gigabytes::new(10.0), MegabytesPerSecond::ZERO);
+        assert_eq!(plan.rounds, 1);
+        assert!(plan.converged);
+        assert!((plan.transferred.value() - 10.0).abs() < 1e-9);
+        assert!((plan.duration.value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_vm_hits_round_limit_with_big_pause() {
+        // Dirtying as fast as the wire: pre-copy cannot converge.
+        let model = MigrationModel::xen_default();
+        let plan = model.plan(Gigabytes::new(16.0), MegabytesPerSecond::new(100.0));
+        assert!(!plan.converged);
+        assert_eq!(plan.rounds, 29);
+        assert!(plan.pause.value() > 100.0, "pause {}", plan.pause);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = MigrationModel::new(MegabytesPerSecond::ZERO, 1, Gigabytes::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn duration_monotone_in_state(
+            a in 0.1f64..64.0,
+            extra in 0.0f64..64.0,
+            dirty in 0.0f64..90.0,
+        ) {
+            let m = MigrationModel::xen_default();
+            let rate = MegabytesPerSecond::new(dirty);
+            let small = m.plan(Gigabytes::new(a), rate);
+            let large = m.plan(Gigabytes::new(a + extra), rate);
+            prop_assert!(large.duration >= small.duration - Seconds::new(1e-9));
+        }
+
+        #[test]
+        fn higher_dirty_rate_never_migrates_faster(
+            state in 0.1f64..64.0,
+            d1 in 0.0f64..100.0,
+            d2 in 0.0f64..100.0,
+        ) {
+            let m = MigrationModel::xen_default();
+            let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+            let calm = m.plan(Gigabytes::new(state), MegabytesPerSecond::new(lo));
+            let hot = m.plan(Gigabytes::new(state), MegabytesPerSecond::new(hi));
+            prop_assert!(hot.duration >= calm.duration - Seconds::new(1e-9));
+        }
+
+        #[test]
+        fn transferred_at_least_state(state in 0.1f64..64.0, dirty in 0.0f64..90.0) {
+            let m = MigrationModel::xen_default();
+            let plan = m.plan(Gigabytes::new(state), MegabytesPerSecond::new(dirty));
+            prop_assert!(plan.transferred.value() >= state - 1e-9);
+        }
+    }
+}

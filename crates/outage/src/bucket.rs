@@ -1,0 +1,140 @@
+//! Duration buckets matching the paper's Figure 1(b) histogram.
+
+use core::fmt;
+use dcb_units::Seconds;
+
+/// A half-open duration range `[lo, hi)` used to bucket outage durations.
+///
+/// The canonical buckets are those of Figure 1(b): `<1`, `1–5`, `5–30`,
+/// `30–120`, `120–240` and `>240` minutes. The final bucket is open-ended;
+/// for sampling and expectation purposes it is capped at
+/// [`DurationBucket::OPEN_END_CAP_MINUTES`].
+///
+/// ```
+/// use dcb_outage::DurationBucket;
+/// use dcb_units::Seconds;
+///
+/// let b = DurationBucket::new_minutes(5.0, 30.0);
+/// assert!(b.contains(Seconds::from_minutes(10.0)));
+/// assert!(!b.contains(Seconds::from_minutes(30.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DurationBucket {
+    lo: Seconds,
+    hi: Seconds,
+}
+
+impl DurationBucket {
+    /// Cap applied to the open-ended `>240 min` bucket when a finite upper
+    /// bound is needed (sampling, means). Eight hours: consistent with the
+    /// paper treating `>4 h` outages as the geo-replication regime.
+    pub const OPEN_END_CAP_MINUTES: f64 = 480.0;
+
+    /// Creates a bucket `[lo, hi)` from minute bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo < 0`, or `hi <= lo`.
+    #[must_use]
+    pub fn new_minutes(lo: f64, hi: f64) -> Self {
+        assert!(lo >= 0.0, "bucket lower bound must be >= 0");
+        assert!(hi > lo, "bucket upper bound must exceed lower bound");
+        Self {
+            lo: Seconds::from_minutes(lo),
+            hi: Seconds::from_minutes(hi),
+        }
+    }
+
+    /// Creates the open-ended bucket `[lo, ∞)`.
+    #[must_use]
+    pub fn open_ended_minutes(lo: f64) -> Self {
+        assert!(lo >= 0.0, "bucket lower bound must be >= 0");
+        Self {
+            lo: Seconds::from_minutes(lo),
+            hi: Seconds::new(f64::INFINITY),
+        }
+    }
+
+    /// Lower bound (inclusive).
+    #[must_use]
+    pub fn lo(self) -> Seconds {
+        self.lo
+    }
+
+    /// Upper bound (exclusive; may be infinite).
+    #[must_use]
+    pub fn hi(self) -> Seconds {
+        self.hi
+    }
+
+    /// Upper bound with the open-ended cap applied.
+    #[must_use]
+    pub fn capped_hi(self) -> Seconds {
+        if self.hi.is_finite() {
+            self.hi
+        } else {
+            Seconds::from_minutes(Self::OPEN_END_CAP_MINUTES)
+        }
+    }
+
+    /// Whether `d` falls in this bucket.
+    #[must_use]
+    pub fn contains(self, d: Seconds) -> bool {
+        d >= self.lo && d < self.hi
+    }
+
+    /// Midpoint of the (capped) bucket, used for coarse expectations.
+    #[must_use]
+    pub fn midpoint(self) -> Seconds {
+        (self.lo + self.capped_hi()) / 2.0
+    }
+
+    /// Width of the (capped) bucket.
+    #[must_use]
+    pub fn width(self) -> Seconds {
+        self.capped_hi() - self.lo
+    }
+}
+
+impl fmt::Display for DurationBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hi.is_finite() {
+            write!(f, "{:.0}–{:.0} min", self.lo.to_minutes(), self.hi.to_minutes())
+        } else {
+            write!(f, "> {:.0} min", self.lo.to_minutes())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_half_open() {
+        let b = DurationBucket::new_minutes(1.0, 5.0);
+        assert!(b.contains(Seconds::from_minutes(1.0)));
+        assert!(b.contains(Seconds::from_minutes(4.999)));
+        assert!(!b.contains(Seconds::from_minutes(5.0)));
+        assert!(!b.contains(Seconds::from_minutes(0.5)));
+    }
+
+    #[test]
+    fn open_ended_contains_everything_above() {
+        let b = DurationBucket::open_ended_minutes(240.0);
+        assert!(b.contains(Seconds::from_hours(100.0)));
+        assert_eq!(b.capped_hi(), Seconds::from_minutes(480.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DurationBucket::new_minutes(5.0, 30.0).to_string(), "5–30 min");
+        assert_eq!(DurationBucket::open_ended_minutes(240.0).to_string(), "> 240 min");
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound must exceed")]
+    fn inverted_bounds_rejected() {
+        let _ = DurationBucket::new_minutes(5.0, 5.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! The empirical outage distributions of the paper's Figure 1.
+
+use crate::DurationBucket;
+use dcb_units::Seconds;
+
+/// A bucketed probability distribution over outage durations.
+///
+/// [`DurationDistribution::us_business`] encodes Figure 1(b) — the duration
+/// histogram for US business power outages (EPRI survey data the paper
+/// cites): 31 % under a minute, 27 % in 1–5 min, 14 % in 5–30 min, 17 % in
+/// 30–120 min, 6 % in 120–240 min and 5 % beyond 240 min.
+///
+/// Within a bucket the distribution is treated as uniform (the open tail is
+/// capped at [`DurationBucket::OPEN_END_CAP_MINUTES`]), which is enough to
+/// interpolate survival probabilities at arbitrary durations.
+///
+/// ```
+/// use dcb_outage::DurationDistribution;
+/// use dcb_units::Seconds;
+///
+/// let d = DurationDistribution::us_business();
+/// // The paper: "a large majority (over 58%) of these outages are shorter
+/// // than 5 minutes".
+/// assert!(d.probability_within(Seconds::from_minutes(5.0)) >= 0.58);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DurationDistribution {
+    buckets: Vec<(DurationBucket, f64)>,
+}
+
+impl DurationDistribution {
+    /// Builds a distribution from `(bucket, probability)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are negative, don't sum to 1 (±1e-6), buckets
+    /// are empty, not contiguous, or not sorted.
+    #[must_use]
+    pub fn new(buckets: Vec<(DurationBucket, f64)>) -> Self {
+        assert!(!buckets.is_empty(), "distribution needs at least one bucket");
+        let total: f64 = buckets.iter().map(|(_, p)| *p).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "bucket probabilities must sum to 1, got {total}"
+        );
+        for (_, p) in &buckets {
+            assert!(*p >= 0.0, "probabilities must be non-negative");
+        }
+        for pair in buckets.windows(2) {
+            assert_eq!(
+                pair[0].0.hi(),
+                pair[1].0.lo(),
+                "buckets must be contiguous and sorted"
+            );
+        }
+        Self { buckets }
+    }
+
+    /// Figure 1(b): the duration distribution of US business power outages.
+    #[must_use]
+    pub fn us_business() -> Self {
+        Self::new(vec![
+            (DurationBucket::new_minutes(0.0, 1.0), 0.31),
+            (DurationBucket::new_minutes(1.0, 5.0), 0.27),
+            (DurationBucket::new_minutes(5.0, 30.0), 0.14),
+            (DurationBucket::new_minutes(30.0, 120.0), 0.17),
+            (DurationBucket::new_minutes(120.0, 240.0), 0.06),
+            (DurationBucket::open_ended_minutes(240.0), 0.05),
+        ])
+    }
+
+    /// The buckets and their probabilities.
+    #[must_use]
+    pub fn buckets(&self) -> &[(DurationBucket, f64)] {
+        &self.buckets
+    }
+
+    /// `P(duration <= d)`, interpolating uniformly within buckets.
+    #[must_use]
+    pub fn probability_within(&self, d: Seconds) -> f64 {
+        let mut acc = 0.0;
+        for (bucket, p) in &self.buckets {
+            if d >= bucket.capped_hi() {
+                acc += p;
+            } else if bucket.contains(d) || (d >= bucket.lo() && !bucket.hi().is_finite()) {
+                let frac = (d - bucket.lo()) / bucket.width();
+                acc += p * frac.clamp(0.0, 1.0);
+                break;
+            } else {
+                break;
+            }
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// Survival function `P(duration > d)`.
+    #[must_use]
+    pub fn survival(&self, d: Seconds) -> f64 {
+        1.0 - self.probability_within(d)
+    }
+
+    /// Conditional survival: `P(duration > elapsed + ahead | duration >
+    /// elapsed)` — the probability an outage already `elapsed` long lasts at
+    /// least `ahead` longer. This is the quantity the §7 online predictor
+    /// feeds the adaptive controller.
+    #[must_use]
+    pub fn conditional_survival(&self, elapsed: Seconds, ahead: Seconds) -> f64 {
+        let now = self.survival(elapsed);
+        if now <= 0.0 {
+            return 0.0;
+        }
+        (self.survival(elapsed + ahead) / now).clamp(0.0, 1.0)
+    }
+
+    /// Expected remaining duration given `elapsed` time in the outage,
+    /// integrating the conditional survival numerically.
+    #[must_use]
+    pub fn expected_remaining(&self, elapsed: Seconds) -> Seconds {
+        let cap = Seconds::from_minutes(DurationBucket::OPEN_END_CAP_MINUTES);
+        if elapsed >= cap {
+            return Seconds::ZERO;
+        }
+        // Integrate S(elapsed + t)/S(elapsed) dt via trapezoid, 1-min steps.
+        let step = Seconds::from_minutes(1.0);
+        let s0 = self.survival(elapsed);
+        if s0 <= 0.0 {
+            return Seconds::ZERO;
+        }
+        let mut t = Seconds::ZERO;
+        let mut acc = 0.0;
+        let mut prev = 1.0;
+        while elapsed + t < cap {
+            let next_t = t + step;
+            let s = self.survival(elapsed + next_t) / s0;
+            acc += (prev + s) / 2.0 * step.value();
+            prev = s;
+            t = next_t;
+        }
+        Seconds::new(acc)
+    }
+
+    /// Mean outage duration (open tail capped).
+    #[must_use]
+    pub fn mean(&self) -> Seconds {
+        self.buckets
+            .iter()
+            .map(|(b, p)| b.midpoint() * *p)
+            .sum()
+    }
+
+    /// Samples a duration from the distribution using uniform randoms
+    /// `u_bucket, u_within ∈ [0, 1)`.
+    ///
+    /// Deterministic given the inputs; the RNG plumbing lives in
+    /// [`crate::OutageSampler`].
+    #[must_use]
+    pub fn quantile(&self, u: f64) -> Seconds {
+        let u = u.clamp(0.0, 1.0 - 1e-12);
+        let mut acc = 0.0;
+        for (bucket, p) in &self.buckets {
+            if u < acc + p {
+                let frac = if *p > 0.0 { (u - acc) / p } else { 0.0 };
+                return bucket.lo() + bucket.width() * frac;
+            }
+            acc += p;
+        }
+        self.buckets
+            .last()
+            .map(|(b, _)| b.capped_hi())
+            .unwrap_or(Seconds::ZERO)
+    }
+}
+
+/// The yearly outage *frequency* distribution of Figure 1(a): 17 % of
+/// businesses see no outage, 40 % one or two, 30 % three to six, 13 % seven
+/// or more.
+///
+/// ```
+/// use dcb_outage::FrequencyDistribution;
+/// let f = FrequencyDistribution::us_business();
+/// // "6 or fewer outages are the overwhelming majority (in 87% of the
+/// // businesses)".
+/// assert!((f.probability_at_most(6) - 0.87).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FrequencyDistribution {
+    /// `(min_count, max_count, probability)` rows.
+    rows: Vec<(u32, u32, f64)>,
+}
+
+impl FrequencyDistribution {
+    /// Cap used for the open-ended "7+" row when sampling.
+    pub const OPEN_END_CAP: u32 = 12;
+
+    /// Builds a distribution from `(min, max, probability)` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty, probabilities don't sum to 1 (±1e-6), or a
+    /// row has `max < min`.
+    #[must_use]
+    pub fn new(rows: Vec<(u32, u32, f64)>) -> Self {
+        assert!(!rows.is_empty(), "distribution needs at least one row");
+        let total: f64 = rows.iter().map(|(_, _, p)| *p).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "row probabilities must sum to 1, got {total}"
+        );
+        for (lo, hi, p) in &rows {
+            assert!(hi >= lo, "row range inverted");
+            assert!(*p >= 0.0, "probabilities must be non-negative");
+        }
+        Self { rows }
+    }
+
+    /// Figure 1(a): yearly outage counts for US businesses.
+    #[must_use]
+    pub fn us_business() -> Self {
+        Self::new(vec![
+            (0, 0, 0.17),
+            (1, 2, 0.40),
+            (3, 6, 0.30),
+            (7, Self::OPEN_END_CAP, 0.13),
+        ])
+    }
+
+    /// The `(min, max, probability)` rows.
+    #[must_use]
+    pub fn rows(&self) -> &[(u32, u32, f64)] {
+        &self.rows
+    }
+
+    /// `P(count <= n)` assuming whole rows are either in or out (row
+    /// granularity matches the published histogram).
+    #[must_use]
+    pub fn probability_at_most(&self, n: u32) -> f64 {
+        self.rows
+            .iter()
+            .filter(|(_, hi, _)| *hi <= n)
+            .map(|(_, _, p)| *p)
+            .sum()
+    }
+
+    /// Maps a uniform random `u ∈ [0,1)` to an outage count, uniform within
+    /// the selected row.
+    #[must_use]
+    pub fn quantile(&self, u: f64, u_within: f64) -> u32 {
+        let u = u.clamp(0.0, 1.0 - 1e-12);
+        let mut acc = 0.0;
+        for (lo, hi, p) in &self.rows {
+            if u < acc + p {
+                let span = (hi - lo + 1) as f64;
+                let offset = (u_within.clamp(0.0, 1.0 - 1e-12) * span) as u32;
+                return lo + offset.min(hi - lo);
+            }
+            acc += p;
+        }
+        self.rows.last().map(|(_, hi, _)| *hi).unwrap_or(0)
+    }
+
+    /// Expected yearly outage count (row midpoints).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|(lo, hi, p)| (f64::from(*lo) + f64::from(*hi)) / 2.0 * p)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn us_business_duration_sums_to_one() {
+        let d = DurationDistribution::us_business();
+        let total: f64 = d.buckets().iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_at_zero_is_one() {
+        let d = DurationDistribution::us_business();
+        assert!((d.survival(Seconds::ZERO) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forty_minute_claim_holds() {
+        // The paper: outages up to 40 minutes constitute "bulk of the
+        // outages" — our encoding puts ~74% of outages within 40 min.
+        let d = DurationDistribution::us_business();
+        assert!(d.probability_within(Seconds::from_minutes(40.0)) > 0.70);
+    }
+
+    #[test]
+    fn thirty_percent_within_dg_startup() {
+        // §3: "even before starting to use the DG, the datacenter would have
+        // restored utility power for more than 30% of the power outages"
+        // (DG transition ~2 min).
+        let d = DurationDistribution::us_business();
+        assert!(d.probability_within(Seconds::from_minutes(2.0)) > 0.30);
+    }
+
+    #[test]
+    fn conditional_survival_of_long_outage_rises() {
+        // An outage that has already lasted 30 min is far more likely to
+        // last 30 more than a fresh outage is to reach 30 min.
+        let d = DurationDistribution::us_business();
+        let fresh = d.survival(Seconds::from_minutes(30.0));
+        let aged = d.conditional_survival(Seconds::from_minutes(30.0), Seconds::from_minutes(30.0));
+        assert!(aged > fresh);
+    }
+
+    #[test]
+    fn expected_remaining_zero_after_cap() {
+        let d = DurationDistribution::us_business();
+        assert_eq!(d.expected_remaining(Seconds::from_hours(8.0)), Seconds::ZERO);
+    }
+
+    #[test]
+    fn frequency_mean_is_plausible() {
+        let f = FrequencyDistribution::us_business();
+        let m = f.mean();
+        assert!(m > 1.0 && m < 4.0, "mean yearly outages {m} out of range");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_rejected() {
+        let _ = DurationDistribution::new(vec![(DurationBucket::new_minutes(0.0, 1.0), 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gap_rejected() {
+        let _ = DurationDistribution::new(vec![
+            (DurationBucket::new_minutes(0.0, 1.0), 0.5),
+            (DurationBucket::new_minutes(2.0, 3.0), 0.5),
+        ]);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_monotone(a in 0.0f64..500.0, extra in 0.0f64..500.0) {
+            let d = DurationDistribution::us_business();
+            let pa = d.probability_within(Seconds::from_minutes(a));
+            let pb = d.probability_within(Seconds::from_minutes(a + extra));
+            prop_assert!(pb >= pa - 1e-12);
+        }
+
+        #[test]
+        fn quantile_inverts_cdf(u in 0.0f64..1.0) {
+            let d = DurationDistribution::us_business();
+            let x = d.quantile(u);
+            let back = d.probability_within(x);
+            prop_assert!((back - u).abs() < 1e-6);
+        }
+
+        #[test]
+        fn conditional_survival_in_unit_interval(
+            e in 0.0f64..480.0,
+            a in 0.0f64..480.0,
+        ) {
+            let d = DurationDistribution::us_business();
+            let c = d.conditional_survival(Seconds::from_minutes(e), Seconds::from_minutes(a));
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn frequency_quantile_in_declared_range(u in 0.0f64..1.0, w in 0.0f64..1.0) {
+            let f = FrequencyDistribution::us_business();
+            let n = f.quantile(u, w);
+            prop_assert!(n <= FrequencyDistribution::OPEN_END_CAP);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Online outage-duration prediction (§7 of the paper).
+//!
+//! "One option is for datacenters to use the historic utility outage data
+//! from their utility to construct an online predictor (e.g., an online
+//! Markov chain based transition matrix of different duration), and use the
+//! evolving outage to make dynamic decisions."
+
+use crate::{DurationBucket, DurationDistribution, OutageTrace};
+use dcb_units::Seconds;
+
+/// A Markov-chain outage duration predictor over the Figure 1(b) buckets.
+///
+/// The chain's state is "the outage has survived into bucket *i*"; the
+/// transition matrix entry `T[i]` is the probability the outage survives
+/// into bucket *i+1* given it reached bucket *i*, estimated either from a
+/// published distribution or fitted online from observed outages. Combined
+/// with within-bucket interpolation this yields the conditional-survival
+/// queries the adaptive controller needs.
+///
+/// ```
+/// use dcb_outage::{DurationDistribution, DurationPredictor};
+/// use dcb_units::Seconds;
+///
+/// let p = DurationPredictor::from_distribution(&DurationDistribution::us_business());
+/// // A fresh outage most likely ends within 5 minutes...
+/// assert!(p.probability_exceeds(Seconds::ZERO, Seconds::from_minutes(5.0)) < 0.5);
+/// // ...but one that has already run 30 minutes probably runs on.
+/// assert!(p.probability_exceeds(Seconds::from_minutes(30.0), Seconds::from_minutes(10.0)) > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DurationPredictor {
+    distribution: DurationDistribution,
+    /// `survive[i]` = P(outage survives past bucket i's upper edge | it
+    /// entered bucket i) — the Markov transition probabilities.
+    transitions: Vec<f64>,
+    /// Number of observations the predictor was fitted from (0 when built
+    /// from a published distribution).
+    observations: usize,
+}
+
+impl DurationPredictor {
+    /// Builds the predictor from a published bucket distribution.
+    #[must_use]
+    pub fn from_distribution(distribution: &DurationDistribution) -> Self {
+        let transitions = Self::transitions_of(distribution);
+        Self {
+            distribution: distribution.clone(),
+            transitions,
+            observations: 0,
+        }
+    }
+
+    /// Fits the predictor from historic outage observations, falling back
+    /// to the Figure 1(b) shape when the history is empty.
+    ///
+    /// Durations are histogrammed into the standard Figure 1(b) buckets with
+    /// add-one (Laplace) smoothing so unseen buckets keep nonzero mass.
+    #[must_use]
+    pub fn fit(history: &[OutageTrace]) -> Self {
+        let template = DurationDistribution::us_business();
+        let durations: Vec<Seconds> = history
+            .iter()
+            .flat_map(|t| t.outages().iter().map(|o| o.duration))
+            .collect();
+        if durations.is_empty() {
+            return Self::from_distribution(&template);
+        }
+        let buckets: Vec<DurationBucket> = template.buckets().iter().map(|(b, _)| *b).collect();
+        let mut counts = vec![1.0f64; buckets.len()]; // Laplace smoothing
+        for d in &durations {
+            for (i, b) in buckets.iter().enumerate() {
+                if b.contains(*d) || (i == buckets.len() - 1 && *d >= b.lo()) {
+                    counts[i] += 1.0;
+                    break;
+                }
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        let fitted = DurationDistribution::new(
+            buckets
+                .iter()
+                .zip(&counts)
+                .map(|(b, c)| (*b, c / total))
+                .collect(),
+        );
+        let transitions = Self::transitions_of(&fitted);
+        Self {
+            distribution: fitted,
+            transitions,
+            observations: durations.len(),
+        }
+    }
+
+    fn transitions_of(distribution: &DurationDistribution) -> Vec<f64> {
+        distribution
+            .buckets()
+            .iter()
+            .map(|(b, _)| {
+                let entered = distribution.survival(b.lo());
+                if entered <= 0.0 {
+                    0.0
+                } else {
+                    (distribution.survival(b.capped_hi()) / entered).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// The fitted (or published) duration distribution.
+    #[must_use]
+    pub fn distribution(&self) -> &DurationDistribution {
+        &self.distribution
+    }
+
+    /// The Markov transition probabilities: entry `i` is the probability an
+    /// outage that entered bucket `i` survives past the bucket's upper edge.
+    #[must_use]
+    pub fn transitions(&self) -> &[f64] {
+        &self.transitions
+    }
+
+    /// Number of historic outages the predictor was fitted from.
+    #[must_use]
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// `P(outage lasts more than `ahead` longer | it has lasted `elapsed`)`.
+    #[must_use]
+    pub fn probability_exceeds(&self, elapsed: Seconds, ahead: Seconds) -> f64 {
+        self.distribution.conditional_survival(elapsed, ahead)
+    }
+
+    /// Expected remaining outage time given `elapsed`.
+    #[must_use]
+    pub fn expected_remaining(&self, elapsed: Seconds) -> Seconds {
+        self.distribution.expected_remaining(elapsed)
+    }
+
+    /// A pessimistic remaining-duration estimate: the smallest `t` such that
+    /// `P(remaining > t) <= risk`. The adaptive controller plans battery
+    /// budgets against this quantile.
+    #[must_use]
+    pub fn remaining_quantile(&self, elapsed: Seconds, risk: f64) -> Seconds {
+        let cap = Seconds::from_minutes(DurationBucket::OPEN_END_CAP_MINUTES);
+        let risk = risk.clamp(1e-9, 1.0);
+        // Bisect on conditional survival, which is monotone nonincreasing.
+        let mut lo = Seconds::ZERO;
+        let mut hi = (cap - elapsed).max(Seconds::ZERO);
+        if self.probability_exceeds(elapsed, hi) > risk {
+            return hi;
+        }
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            if self.probability_exceeds(elapsed, mid) > risk {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Outage, OutageSampler};
+    use proptest::prelude::*;
+
+    #[test]
+    fn transitions_are_probabilities() {
+        let p = DurationPredictor::from_distribution(&DurationDistribution::us_business());
+        for t in p.transitions() {
+            assert!((0.0..=1.0).contains(t));
+        }
+        assert_eq!(p.transitions().len(), 6);
+    }
+
+    #[test]
+    fn fit_on_empty_history_falls_back() {
+        let p = DurationPredictor::fit(&[]);
+        assert_eq!(p.observations(), 0);
+        assert_eq!(p.distribution(), &DurationDistribution::us_business());
+    }
+
+    #[test]
+    fn fit_recovers_sampled_distribution() {
+        let mut sampler = OutageSampler::seeded(5);
+        let history = sampler.sample_years(5_000);
+        let p = DurationPredictor::fit(&history);
+        assert!(p.observations() > 1_000);
+        // Fitted P(d <= 5 min) should approximate the generating 58%.
+        let within = p.distribution().probability_within(Seconds::from_minutes(5.0));
+        assert!((within - 0.58).abs() < 0.05, "got {within}");
+    }
+
+    #[test]
+    fn fit_from_all_short_outages_predicts_short() {
+        let trace = OutageTrace::new(
+            (0..100)
+                .map(|i| Outage {
+                    start: Seconds::from_hours(f64::from(i)),
+                    duration: Seconds::new(30.0),
+                })
+                .collect(),
+        );
+        let p = DurationPredictor::fit(&[trace]);
+        // Nearly all mass in the first bucket.
+        assert!(p.distribution().probability_within(Seconds::from_minutes(1.0)) > 0.9);
+    }
+
+    #[test]
+    fn remaining_quantile_bounds_risk() {
+        let p = DurationPredictor::from_distribution(&DurationDistribution::us_business());
+        let elapsed = Seconds::from_minutes(2.0);
+        let q = p.remaining_quantile(elapsed, 0.1);
+        let risk = p.probability_exceeds(elapsed, q);
+        assert!(risk <= 0.1 + 1e-6, "risk {risk} exceeds target");
+    }
+
+    #[test]
+    fn expected_remaining_grows_with_elapsed_early_on() {
+        // The heavy tail means surviving the first minutes raises the
+        // conditional expectation (the "inspection paradox" the §7 policy
+        // exploits).
+        let p = DurationPredictor::from_distribution(&DurationDistribution::us_business());
+        let fresh = p.expected_remaining(Seconds::ZERO);
+        let aged = p.expected_remaining(Seconds::from_minutes(10.0));
+        assert!(aged > fresh);
+    }
+
+    proptest! {
+        #[test]
+        fn probability_exceeds_monotone_in_ahead(
+            e in 0.0f64..240.0,
+            a in 0.0f64..240.0,
+            extra in 0.0f64..240.0,
+        ) {
+            let p = DurationPredictor::from_distribution(&DurationDistribution::us_business());
+            let near = p.probability_exceeds(Seconds::from_minutes(e), Seconds::from_minutes(a));
+            let far = p.probability_exceeds(Seconds::from_minutes(e), Seconds::from_minutes(a + extra));
+            prop_assert!(far <= near + 1e-12);
+        }
+
+        #[test]
+        fn remaining_quantile_monotone_in_risk(
+            e in 0.0f64..240.0,
+            r1 in 0.01f64..0.99,
+            r2 in 0.01f64..0.99,
+        ) {
+            let p = DurationPredictor::from_distribution(&DurationDistribution::us_business());
+            let (lo_risk, hi_risk) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+            let conservative = p.remaining_quantile(Seconds::from_minutes(e), lo_risk);
+            let aggressive = p.remaining_quantile(Seconds::from_minutes(e), hi_risk);
+            prop_assert!(conservative >= aggressive - Seconds::new(1e-6));
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! The full power-delivery hierarchy of Figure 2: substation → ATS →
+//! PDUs → racks → servers, with per-level capacity limits, redundancy, and
+//! single-fault analysis.
+//!
+//! The paper's related work (§2, "Backup Infrastructure Costs") notes that
+//! prior art varies "the redundancy and placement configurations of the
+//! backup equipment, to derive different availability-cost options,
+//! popularized by the famous Tier classification". This module provides
+//! the structural substrate for that analysis: a capacity-checked tree of
+//! power components whose redundancy levels determine which servers go
+//! dark under any single component fault, and whose per-component
+//! availability figures compose into an end-to-end power availability.
+
+use core::fmt;
+use dcb_units::Watts;
+
+/// Redundancy of a component (how many units beyond need are installed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub enum Redundancy {
+    /// Exactly the capacity needed: any unit fault drops the load below.
+    #[default]
+    N,
+    /// One spare unit: a single fault is absorbed.
+    NPlus1,
+    /// Fully duplicated paths: single faults are absorbed and maintenance
+    /// is concurrent (the Tier IV ingredient).
+    TwoN,
+}
+
+impl Redundancy {
+    /// Whether a single unit fault leaves the component operational.
+    #[must_use]
+    pub fn tolerates_single_fault(self) -> bool {
+        !matches!(self, Redundancy::N)
+    }
+
+    /// Capital multiplier relative to unredundant capacity.
+    #[must_use]
+    pub fn cost_factor(self) -> f64 {
+        match self {
+            Redundancy::N => 1.0,
+            Redundancy::NPlus1 => 1.25,
+            Redundancy::TwoN => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for Redundancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Redundancy::N => f.write_str("N"),
+            Redundancy::NPlus1 => f.write_str("N+1"),
+            Redundancy::TwoN => f.write_str("2N"),
+        }
+    }
+}
+
+/// The kind of a node in the delivery tree (drives default availability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ComponentKind {
+    /// Utility entry + automatic transfer switch.
+    Ats,
+    /// Switchgear/transformer feeding a power-distribution unit.
+    Pdu,
+    /// A rack's power strip / busway tap.
+    Rack,
+    /// A leaf load (a group of servers).
+    Load,
+}
+
+impl ComponentKind {
+    /// Typical standalone availability of one unit of this component
+    /// (industry planning figures: transformer/PDU ≈ 99.95 %, ATS ≈
+    /// 99.99 %, rack strip ≈ 99.999 %).
+    #[must_use]
+    pub fn unit_availability(self) -> f64 {
+        match self {
+            ComponentKind::Ats => 0.9999,
+            ComponentKind::Pdu => 0.9995,
+            ComponentKind::Rack => 0.99999,
+            ComponentKind::Load => 1.0,
+        }
+    }
+}
+
+/// A node in the power-delivery tree.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerNode {
+    /// Display name ("pdu-2", "rack-7", ...).
+    pub name: String,
+    /// Component kind.
+    pub kind: ComponentKind,
+    /// Deliverable power of one unit of this component.
+    pub capacity: Watts,
+    /// Installed redundancy.
+    pub redundancy: Redundancy,
+    /// Downstream nodes (empty for leaf loads).
+    pub children: Vec<PowerNode>,
+    /// Leaf load (ignored for internal nodes).
+    pub load: Watts,
+}
+
+/// A capacity violation found by [`PowerNode::validate`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Overload {
+    /// Path to the overloaded node ("root/pdu-1").
+    pub path: String,
+    /// The node's capacity.
+    pub capacity: Watts,
+    /// The aggregate downstream demand.
+    pub demand: Watts,
+}
+
+impl fmt::Display for Overload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} overloaded: demand {:.0} W exceeds capacity {:.0} W",
+            self.path,
+            self.demand.value(),
+            self.capacity.value()
+        )
+    }
+}
+
+impl std::error::Error for Overload {}
+
+impl PowerNode {
+    /// A leaf load.
+    #[must_use]
+    pub fn load(name: impl Into<String>, load: Watts) -> Self {
+        Self {
+            name: name.into(),
+            kind: ComponentKind::Load,
+            capacity: load,
+            redundancy: Redundancy::N,
+            children: Vec::new(),
+            load,
+        }
+    }
+
+    /// An internal component with children.
+    #[must_use]
+    pub fn component(
+        name: impl Into<String>,
+        kind: ComponentKind,
+        capacity: Watts,
+        redundancy: Redundancy,
+        children: Vec<PowerNode>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            capacity,
+            redundancy,
+            children,
+            load: Watts::ZERO,
+        }
+    }
+
+    /// The paper's Figure 2 topology for a small datacenter: one ATS root,
+    /// `pdus` PDUs, each feeding `racks_per_pdu` racks of `rack_load`.
+    /// Components are sized with 20 % headroom.
+    #[must_use]
+    pub fn figure2(pdus: u32, racks_per_pdu: u32, rack_load: Watts, redundancy: Redundancy) -> Self {
+        let pdu_children: Vec<PowerNode> = (0..pdus)
+            .map(|p| {
+                let racks: Vec<PowerNode> = (0..racks_per_pdu)
+                    .map(|r| {
+                        PowerNode::component(
+                            format!("rack-{p}-{r}"),
+                            ComponentKind::Rack,
+                            rack_load * 1.2,
+                            redundancy,
+                            vec![PowerNode::load(format!("servers-{p}-{r}"), rack_load)],
+                        )
+                    })
+                    .collect();
+                PowerNode::component(
+                    format!("pdu-{p}"),
+                    ComponentKind::Pdu,
+                    rack_load * (f64::from(racks_per_pdu) * 1.2),
+                    redundancy,
+                    racks,
+                )
+            })
+            .collect();
+        PowerNode::component(
+            "ats",
+            ComponentKind::Ats,
+            rack_load * (f64::from(pdus * racks_per_pdu) * 1.2),
+            redundancy,
+            pdu_children,
+        )
+    }
+
+    /// Aggregate downstream demand.
+    #[must_use]
+    pub fn demand(&self) -> Watts {
+        if self.children.is_empty() {
+            self.load
+        } else {
+            self.children.iter().map(PowerNode::demand).sum()
+        }
+    }
+
+    /// Checks every node's capacity against its downstream demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Overload`] found (pre-order).
+    pub fn validate(&self) -> Result<(), Overload> {
+        self.validate_inner("")
+    }
+
+    fn validate_inner(&self, prefix: &str) -> Result<(), Overload> {
+        let path = if prefix.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{prefix}/{}", self.name)
+        };
+        let demand = self.demand();
+        if demand > self.capacity {
+            return Err(Overload {
+                path,
+                capacity: self.capacity,
+                demand,
+            });
+        }
+        for child in &self.children {
+            child.validate_inner(&path)?;
+        }
+        Ok(())
+    }
+
+    /// The load that stays powered when the named component suffers a
+    /// single unit fault: zero below it unless its redundancy absorbs the
+    /// fault.
+    #[must_use]
+    pub fn surviving_load_after_fault(&self, failed: &str) -> Watts {
+        if self.name == failed {
+            return if self.redundancy.tolerates_single_fault() {
+                self.demand()
+            } else {
+                Watts::ZERO
+            };
+        }
+        if self.children.is_empty() {
+            return self.load;
+        }
+        self.children
+            .iter()
+            .map(|c| c.surviving_load_after_fault(failed))
+            .sum()
+    }
+
+    /// End-to-end *power path* availability for the leaves: the product of
+    /// each ancestor's effective availability, where redundancy converts a
+    /// unit availability `a` into `1 − (1 − a)²` (two independent units
+    /// must both fail).
+    ///
+    /// Returns the availability of the worst leaf path (uniform trees give
+    /// the same value for every leaf).
+    #[must_use]
+    pub fn path_availability(&self) -> f64 {
+        let unit = self.kind.unit_availability();
+        let own = if self.redundancy.tolerates_single_fault() {
+            1.0 - (1.0 - unit).powi(2)
+        } else {
+            unit
+        };
+        if self.children.is_empty() {
+            own
+        } else {
+            own * self
+                .children
+                .iter()
+                .map(PowerNode::path_availability)
+                .fold(1.0, f64::min)
+        }
+    }
+
+    /// Total capital cost factor of the tree relative to unredundant
+    /// capacity (sums each internal component's capacity × redundancy cost
+    /// factor; used for Tier cost comparisons).
+    #[must_use]
+    pub fn redundancy_cost(&self) -> f64 {
+        let own = if matches!(self.kind, ComponentKind::Load) {
+            0.0
+        } else {
+            self.capacity.value() * self.redundancy.cost_factor()
+        };
+        own + self
+            .children
+            .iter()
+            .map(PowerNode::redundancy_cost)
+            .sum::<f64>()
+    }
+
+    /// Iterates over component names (pre-order), for fault sweeps.
+    #[must_use]
+    pub fn component_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.collect_names(&mut names);
+        names
+    }
+
+    fn collect_names(&self, names: &mut Vec<String>) {
+        if !matches!(self.kind, ComponentKind::Load) {
+            names.push(self.name.clone());
+        }
+        for child in &self.children {
+            child.collect_names(names);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rack_load() -> Watts {
+        Watts::new(4000.0)
+    }
+
+    #[test]
+    fn figure2_tree_validates() {
+        let tree = PowerNode::figure2(2, 4, rack_load(), Redundancy::N);
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.demand(), Watts::new(8.0 * 4000.0));
+        // 1 ATS + 2 PDUs + 8 racks = 11 components.
+        assert_eq!(tree.component_names().len(), 11);
+    }
+
+    #[test]
+    fn overload_detected_with_path() {
+        let tree = PowerNode::component(
+            "ats",
+            ComponentKind::Ats,
+            Watts::new(1000.0),
+            Redundancy::N,
+            vec![PowerNode::load("servers", Watts::new(2000.0))],
+        );
+        let err = tree.validate().unwrap_err();
+        assert_eq!(err.path, "ats");
+        assert!(err.to_string().contains("overloaded"));
+    }
+
+    #[test]
+    fn unredundant_pdu_fault_darkens_its_racks() {
+        let tree = PowerNode::figure2(2, 4, rack_load(), Redundancy::N);
+        let surviving = tree.surviving_load_after_fault("pdu-0");
+        // Half the facility goes dark.
+        assert_eq!(surviving, Watts::new(4.0 * 4000.0));
+        // An ATS fault darkens everything.
+        assert_eq!(tree.surviving_load_after_fault("ats"), Watts::ZERO);
+    }
+
+    #[test]
+    fn redundant_components_absorb_single_faults() {
+        let tree = PowerNode::figure2(2, 4, rack_load(), Redundancy::NPlus1);
+        for name in tree.component_names() {
+            assert_eq!(
+                tree.surviving_load_after_fault(&name),
+                tree.demand(),
+                "fault at {name} should be absorbed"
+            );
+        }
+    }
+
+    #[test]
+    fn redundancy_buys_availability_and_costs_capital() {
+        let n = PowerNode::figure2(2, 4, rack_load(), Redundancy::N);
+        let n1 = PowerNode::figure2(2, 4, rack_load(), Redundancy::NPlus1);
+        let twon = PowerNode::figure2(2, 4, rack_load(), Redundancy::TwoN);
+        assert!(n1.path_availability() > n.path_availability());
+        assert!(twon.path_availability() >= n1.path_availability());
+        assert!(n1.redundancy_cost() > n.redundancy_cost());
+        assert!(twon.redundancy_cost() > n1.redundancy_cost());
+    }
+
+    #[test]
+    fn fault_sweep_partitions_the_load() {
+        // For an unredundant tree, a fault at any component either darkens
+        // its whole subtree or nothing outside it: surviving + darkened =
+        // total demand.
+        let tree = PowerNode::figure2(3, 4, rack_load(), Redundancy::N);
+        let total = tree.demand();
+        for name in tree.component_names() {
+            let surviving = tree.surviving_load_after_fault(&name);
+            assert!(surviving <= total);
+            // Darkened load is a whole number of racks.
+            let darkened = (total - surviving).value();
+            assert!(
+                (darkened / 4000.0).fract().abs() < 1e-9,
+                "fault at {name} darkened {darkened} W"
+            );
+        }
+    }
+
+    #[test]
+    fn path_availability_bounded() {
+        for r in [Redundancy::N, Redundancy::NPlus1, Redundancy::TwoN] {
+            let a = PowerNode::figure2(3, 4, rack_load(), r).path_availability();
+            assert!((0.99..=1.0).contains(&a), "{r}: {a}");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The composed backup system a datacenter draws from during an outage.
+
+use crate::{DieselGenerator, Ups};
+use dcb_units::{Seconds, WattHours, Watts};
+
+/// The result of asking the backup system to carry `requested` watts for
+/// `interval` seconds at some point during an outage.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Supply {
+    /// The load that was requested.
+    pub requested: Watts,
+    /// The interval requested.
+    pub interval: Seconds,
+    /// Portion sourced from the diesel generator (for the sustained time).
+    pub from_dg: Watts,
+    /// Portion sourced from the UPS battery (for the sustained time).
+    pub from_ups: Watts,
+    /// How long within `interval` the full load was actually carried.
+    /// Shorter than `interval` when the battery ran dry or the load exceeded
+    /// total capacity (then zero).
+    pub sustained: Seconds,
+}
+
+impl Supply {
+    /// Whether the full load was carried for the whole interval.
+    #[must_use]
+    pub fn fully_covered(&self) -> bool {
+        self.sustained >= self.interval
+    }
+
+    /// The instantaneous shortfall (requested minus sourced) during the
+    /// sustained window.
+    #[must_use]
+    pub fn shortfall(&self) -> Watts {
+        (self.requested - self.from_dg - self.from_ups).max(Watts::ZERO)
+    }
+}
+
+/// A stateful backup system: optional DG bank plus optional UPS.
+///
+/// During an outage the DG covers as much of the load as its ramp allows
+/// and the UPS battery carries the remainder — the gradual load-step
+/// transfer of §3. Peak draw and energy are tracked for post-hoc capacity
+/// accounting.
+///
+/// ```
+/// use dcb_power::BackupConfig;
+/// use dcb_units::{Seconds, Watts};
+///
+/// let mut sys = BackupConfig::no_dg().instantiate(Watts::new(10_000.0));
+/// let supply = sys.supply(Watts::new(8_000.0), Seconds::ZERO, Seconds::new(60.0));
+/// assert!(supply.fully_covered());
+/// assert_eq!(supply.from_ups, Watts::new(8_000.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BackupSystem {
+    dg: Option<DieselGenerator>,
+    ups: Option<Ups>,
+    peak_drawn: Watts,
+    energy_drawn: WattHours,
+}
+
+impl BackupSystem {
+    /// Composes a system from its parts.
+    #[must_use]
+    pub fn new(dg: Option<DieselGenerator>, ups: Option<Ups>) -> Self {
+        Self {
+            dg,
+            ups,
+            peak_drawn: Watts::ZERO,
+            energy_drawn: WattHours::ZERO,
+        }
+    }
+
+    /// The diesel generator, if provisioned.
+    #[must_use]
+    pub fn dg(&self) -> Option<&DieselGenerator> {
+        self.dg.as_ref()
+    }
+
+    /// The UPS, if provisioned.
+    #[must_use]
+    pub fn ups(&self) -> Option<&Ups> {
+        self.ups.as_ref()
+    }
+
+    /// Highest load drawn so far.
+    #[must_use]
+    pub fn peak_drawn(&self) -> Watts {
+        self.peak_drawn
+    }
+
+    /// Total backup energy delivered so far.
+    #[must_use]
+    pub fn energy_drawn(&self) -> WattHours {
+        self.energy_drawn
+    }
+
+    /// Battery wear so far, in equivalent full cycles (0 without a UPS).
+    #[must_use]
+    pub fn battery_cycles(&self) -> f64 {
+        self.ups.as_ref().map_or(0.0, Ups::equivalent_cycles)
+    }
+
+    /// Power the system could deliver at `elapsed` seconds into an outage.
+    #[must_use]
+    pub fn available_power(&self, elapsed: Seconds) -> Watts {
+        let dg = self
+            .dg
+            .as_ref()
+            .map_or(Watts::ZERO, |d| d.available_power(elapsed));
+        let ups = self.ups.as_ref().map_or(Watts::ZERO, Ups::available_power);
+        dg + ups
+    }
+
+    /// How long the system can sustain a constant `load` starting at
+    /// `elapsed` seconds into the outage.
+    ///
+    /// Conservative analytic answer: infinite if the (ramped-up) DG alone
+    /// covers the load; otherwise the UPS endurance on the uncovered
+    /// portion, unless the DG finishes ramping before the battery dies (in
+    /// which case it is infinite too). Zero if the load exceeds total
+    /// capacity.
+    #[must_use]
+    pub fn endurance(&self, load: Watts, elapsed: Seconds) -> Seconds {
+        if load.value() <= 0.0 {
+            return Seconds::new(f64::INFINITY);
+        }
+        let dg_full = self
+            .dg
+            .as_ref()
+            .map_or(Watts::ZERO, DieselGenerator::power_capacity);
+        let dg_ready = self
+            .dg
+            .as_ref()
+            .map_or(Seconds::ZERO, DieselGenerator::transfer_complete);
+        // Once the DG carries everything, endurance is unbounded (fuel is
+        // assumed sufficient).
+        if load <= dg_full {
+            let gap = (dg_ready - elapsed).max(Seconds::ZERO);
+            if gap.is_zero() {
+                return Seconds::new(f64::INFINITY);
+            }
+            // During the gap the UPS must carry the DG-uncovered remainder;
+            // approximate with the worst case (full load on UPS).
+            match &self.ups {
+                Some(ups) if ups.remaining_runtime_at(load) >= gap => {
+                    Seconds::new(f64::INFINITY)
+                }
+                Some(ups) => ups.remaining_runtime_at(load),
+                None => Seconds::ZERO,
+            }
+        } else {
+            let residual = load - self.dg.as_ref().map_or(Watts::ZERO, |d| {
+                d.available_power(elapsed.max(dg_ready))
+            });
+            match &self.ups {
+                Some(ups) => ups.remaining_runtime_at(residual),
+                None => Seconds::ZERO,
+            }
+        }
+    }
+
+    /// Draws `load` for up to `interval`, `elapsed` seconds into the
+    /// outage, sourcing from the DG first (as its ramp allows) and the UPS
+    /// battery for the remainder.
+    pub fn supply(&mut self, load: Watts, elapsed: Seconds, interval: Seconds) -> Supply {
+        if load.value() <= 0.0 || interval.value() <= 0.0 {
+            return Supply {
+                requested: load.max(Watts::ZERO),
+                interval,
+                from_dg: Watts::ZERO,
+                from_ups: Watts::ZERO,
+                sustained: interval,
+            };
+        }
+        // DG availability over the interval is its (monotone) minimum — the
+        // start of the interval — so the UPS sees the worst-case residual.
+        let dg_power = self
+            .dg
+            .as_ref()
+            .map_or(Watts::ZERO, |d| d.available_power(elapsed));
+        let from_dg = load.min(dg_power);
+        let residual = load - from_dg;
+        let (from_ups, sustained) = if residual.value() <= 1e-9 {
+            (Watts::ZERO, interval)
+        } else {
+            match &mut self.ups {
+                Some(ups) => {
+                    let outcome = ups.draw(residual, interval);
+                    (residual, outcome.sustained)
+                }
+                None => (Watts::ZERO, Seconds::ZERO),
+            }
+        };
+        let supply = Supply {
+            requested: load,
+            interval,
+            from_dg,
+            from_ups,
+            sustained,
+        };
+        if sustained.value() > 0.0 {
+            self.peak_drawn = self.peak_drawn.max(load);
+            self.energy_drawn += load * sustained;
+        }
+        supply
+    }
+
+    /// Restores the system after utility power returns.
+    pub fn reset(&mut self) {
+        if let Some(ups) = &mut self.ups {
+            ups.recharge();
+        }
+        self.peak_drawn = Watts::ZERO;
+        self.energy_drawn = WattHours::ZERO;
+    }
+
+    /// Partially recharges the battery while utility power is available —
+    /// used between back-to-back outages of a yearly trace. Accounting
+    /// (peak/energy) is left untouched so it accumulates across outages.
+    pub fn recharge_for(&mut self, duration: Seconds) {
+        if let Some(ups) = &mut self.ups {
+            ups.recharge_for(duration);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BackupConfig;
+    use proptest::prelude::*;
+
+    fn peak() -> Watts {
+        Watts::new(100_000.0)
+    }
+
+    #[test]
+    fn max_perf_rides_through_dg_start() {
+        let mut sys = BackupConfig::max_perf().instantiate(peak());
+        // First two minutes: UPS carries (DG ramping), then DG takes over.
+        let mut elapsed = Seconds::ZERO;
+        let step = Seconds::new(5.0);
+        for _ in 0..120 {
+            // 10 minutes
+            let s = sys.supply(peak(), elapsed, step);
+            assert!(s.fully_covered(), "lost power at {elapsed}");
+            elapsed += step;
+        }
+        // After ramp the DG covers everything.
+        let late = sys.supply(peak(), elapsed, step);
+        assert_eq!(late.from_dg, peak());
+        assert_eq!(late.from_ups, Watts::ZERO);
+    }
+
+    #[test]
+    fn min_cost_supplies_nothing() {
+        let mut sys = BackupConfig::min_cost().instantiate(peak());
+        let s = sys.supply(Watts::new(1.0), Seconds::ZERO, Seconds::new(1.0));
+        assert_eq!(s.sustained, Seconds::ZERO);
+        assert_eq!(sys.available_power(Seconds::from_hours(1.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn no_dg_runs_out_after_rated_runtime() {
+        let mut sys = BackupConfig::no_dg().instantiate(peak());
+        // Full load on a 2-minute battery.
+        let s = sys.supply(peak(), Seconds::ZERO, Seconds::from_minutes(10.0));
+        assert!(!s.fully_covered());
+        assert!((s.sustained.to_minutes() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_ups_has_gap_then_dg() {
+        let mut sys = BackupConfig::no_ups().instantiate(peak());
+        let early = sys.supply(peak(), Seconds::new(1.0), Seconds::new(1.0));
+        assert_eq!(early.sustained, Seconds::ZERO); // crash window
+        let late = sys.supply(peak(), Seconds::from_minutes(3.0), Seconds::new(1.0));
+        assert!(late.fully_covered());
+    }
+
+    #[test]
+    fn endurance_infinite_when_dg_covers() {
+        let sys = BackupConfig::max_perf().instantiate(peak());
+        assert!(sys.endurance(peak(), Seconds::ZERO).value().is_infinite());
+    }
+
+    #[test]
+    fn endurance_zero_beyond_capacity() {
+        let sys = BackupConfig::small_pups().instantiate(peak());
+        // Half-power UPS cannot carry full load at all.
+        assert_eq!(sys.endurance(peak(), Seconds::ZERO), Seconds::ZERO);
+    }
+
+    #[test]
+    fn peukert_stretch_visible_at_low_load() {
+        let sys = BackupConfig::no_dg().instantiate(peak());
+        // 25% load on the full-power 2-min pack: Peukert gives 12 min.
+        let endurance = sys.endurance(peak() * 0.25, Seconds::ZERO);
+        assert!(
+            (endurance.to_minutes() - 12.0).abs() < 0.1,
+            "got {} min",
+            endurance.to_minutes()
+        );
+    }
+
+    #[test]
+    fn accounting_tracks_peak_and_energy() {
+        let mut sys = BackupConfig::no_dg().instantiate(peak());
+        let _ = sys.supply(peak() * 0.5, Seconds::ZERO, Seconds::from_minutes(1.0));
+        assert_eq!(sys.peak_drawn(), peak() * 0.5);
+        assert!(sys.energy_drawn().value() > 0.0);
+        sys.reset();
+        assert_eq!(sys.energy_drawn(), WattHours::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn supply_never_oversources(
+            frac in 0.0f64..1.5,
+            elapsed in 0.0f64..600.0,
+            dt in 0.1f64..600.0,
+        ) {
+            let mut sys = BackupConfig::max_perf().instantiate(peak());
+            let load = peak() * frac;
+            let s = sys.supply(load, Seconds::new(elapsed), Seconds::new(dt));
+            prop_assert!(s.from_dg + s.from_ups <= load + Watts::new(1e-6));
+            prop_assert!(s.sustained <= s.interval + Seconds::new(1e-9));
+        }
+    }
+}

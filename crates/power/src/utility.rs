@@ -1,0 +1,119 @@
+//! Utility feed and automatic transfer switch.
+
+use dcb_units::Seconds;
+
+/// The utility feed, which is either up or down according to an outage
+/// schedule.
+///
+/// The paper considers a single utility connection ("Access to multiple
+/// independent, multi-megawatt utility lines in the same location is very
+/// rare", §3); the feed's state is fully described by whether the current
+/// instant falls inside an outage.
+///
+/// ```
+/// use dcb_power::UtilityFeed;
+/// use dcb_units::Seconds;
+///
+/// let feed = UtilityFeed::with_outage(Seconds::new(100.0), Seconds::new(50.0));
+/// assert!(feed.is_up(Seconds::new(99.0)));
+/// assert!(!feed.is_up(Seconds::new(125.0)));
+/// assert!(feed.is_up(Seconds::new(150.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct UtilityFeed {
+    /// `(start, end)` outage windows, sorted and disjoint.
+    outages: Vec<(Seconds, Seconds)>,
+}
+
+impl UtilityFeed {
+    /// A feed that never fails.
+    #[must_use]
+    pub fn always_up() -> Self {
+        Self::default()
+    }
+
+    /// A feed with a single outage window `[start, start + duration)`.
+    #[must_use]
+    pub fn with_outage(start: Seconds, duration: Seconds) -> Self {
+        Self {
+            outages: vec![(start, start + duration)],
+        }
+    }
+
+    /// A feed with several outage windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows are not sorted and disjoint.
+    #[must_use]
+    pub fn with_outages(outages: Vec<(Seconds, Seconds)>) -> Self {
+        for w in &outages {
+            assert!(w.1 >= w.0, "outage window inverted");
+        }
+        for pair in outages.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "outage windows must be disjoint and sorted");
+        }
+        Self { outages }
+    }
+
+    /// Whether the utility is delivering power at time `t`.
+    #[must_use]
+    pub fn is_up(&self, t: Seconds) -> bool {
+        !self.outages.iter().any(|(s, e)| t >= *s && t < *e)
+    }
+
+    /// The outage window containing `t`, if any.
+    #[must_use]
+    pub fn outage_at(&self, t: Seconds) -> Option<(Seconds, Seconds)> {
+        self.outages.iter().copied().find(|(s, e)| t >= *s && t < *e)
+    }
+}
+
+/// The automatic transfer switch between utility and the backup sources.
+///
+/// Its only modeled property is the detection/transfer latency, which is
+/// small ("cost of ATS is relatively small and we do not consider it",
+/// §3) and — like the offline-UPS switchover — hidden by the servers'
+/// power-supply capacitance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Ats;
+
+impl Ats {
+    /// Failure detection plus mechanical transfer latency.
+    pub const TRANSFER_LATENCY: Seconds = Seconds::literal(0.5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_up_feed() {
+        let f = UtilityFeed::always_up();
+        assert!(f.is_up(Seconds::ZERO));
+        assert!(f.is_up(Seconds::from_hours(10_000.0)));
+        assert_eq!(f.outage_at(Seconds::new(5.0)), None);
+    }
+
+    #[test]
+    fn outage_window_boundaries() {
+        let f = UtilityFeed::with_outage(Seconds::new(10.0), Seconds::new(5.0));
+        assert!(f.is_up(Seconds::new(9.999)));
+        assert!(!f.is_up(Seconds::new(10.0)));
+        assert!(!f.is_up(Seconds::new(14.999)));
+        assert!(f.is_up(Seconds::new(15.0)));
+        assert_eq!(
+            f.outage_at(Seconds::new(12.0)),
+            Some((Seconds::new(10.0), Seconds::new(15.0)))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_windows_rejected() {
+        let _ = UtilityFeed::with_outages(vec![
+            (Seconds::new(0.0), Seconds::new(10.0)),
+            (Seconds::new(5.0), Seconds::new(15.0)),
+        ]);
+    }
+}

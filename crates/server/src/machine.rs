@@ -1,0 +1,366 @@
+//! A stateful server: the power-state machine with transition legality and
+//! timing.
+//!
+//! [`crate::PowerState`] names the states; this module enforces which
+//! transitions exist (you cannot go from `Active` to `Hibernated` without
+//! passing through `SavingToDisk`, a crashed server must boot before
+//! serving, …), drives the transitional states' timers, and integrates
+//! energy. The outage simulator in `dcb-sim` keeps its own specialized
+//! cluster-level mode machine for speed; this per-server machine is the
+//! reusable, externally-consumable form of the same rules, and the two are
+//! cross-checked in tests.
+
+use crate::{PowerState, ServerSpec, ThrottleLevel, TransitionTimes};
+use core::fmt;
+use dcb_units::{Fraction, Gigabytes, Seconds, WattHours, Watts};
+
+/// A command issued to a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ServerCommand {
+    /// Change the DVFS/duty operating point (only while active).
+    SetThrottle(ThrottleLevel),
+    /// Begin suspend-to-RAM.
+    Sleep,
+    /// Begin suspend-to-disk of `state` gigabytes at the given throttle.
+    Hibernate {
+        /// Volume to persist.
+        state: Gigabytes,
+        /// Throttle while saving.
+        level: ThrottleLevel,
+    },
+    /// Cut power without saving (deliberate shutdown or simulated failure).
+    PowerOff,
+    /// Begin waking/booting, whichever the current state requires.
+    PowerOn,
+}
+
+/// Why a command was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IllegalTransition {
+    /// What the server was doing.
+    pub from: &'static str,
+    /// What was asked of it.
+    pub command: &'static str,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot {} while {}", self.command, self.from)
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// A single server with its power state, transition timers, and energy
+/// accounting.
+///
+/// ```
+/// use dcb_server::{Server, ServerCommand, ServerSpec, ThrottleLevel};
+/// use dcb_units::{Fraction, Seconds};
+///
+/// let mut server = Server::new(ServerSpec::paper_testbed());
+/// server.apply(ServerCommand::Sleep)?;
+/// // Sleep entry takes ~6 s...
+/// server.advance(Seconds::new(10.0), Fraction::ZERO);
+/// assert!(matches!(server.state(), dcb_server::PowerState::Sleeping));
+/// # Ok::<(), dcb_server::IllegalTransition>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Server {
+    spec: ServerSpec,
+    state: PowerState,
+    /// Time left in the current transitional state.
+    timer: Seconds,
+    /// Pending resume volume for `ResumingFromDisk`.
+    saved_state: Gigabytes,
+    saved_throttled: bool,
+    energy: WattHours,
+}
+
+impl Server {
+    /// A server powered on and serving at full speed.
+    #[must_use]
+    pub fn new(spec: ServerSpec) -> Self {
+        Self {
+            spec,
+            state: PowerState::active_full(),
+            timer: Seconds::ZERO,
+            saved_state: Gigabytes::ZERO,
+            saved_throttled: false,
+            energy: WattHours::ZERO,
+        }
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// The spec.
+    #[must_use]
+    pub fn spec(&self) -> &ServerSpec {
+        &self.spec
+    }
+
+    /// Total energy consumed so far.
+    #[must_use]
+    pub fn energy_consumed(&self) -> WattHours {
+        self.energy
+    }
+
+    /// Instantaneous power draw at the given utilization.
+    #[must_use]
+    pub fn power(&self, utilization: Fraction) -> Watts {
+        self.spec.power_draw(&self.state, utilization)
+    }
+
+    fn transitions(&self) -> TransitionTimes {
+        TransitionTimes::new(self.spec)
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            PowerState::Active(_) => "active",
+            PowerState::EnteringSleep => "entering sleep",
+            PowerState::Sleeping => "sleeping",
+            PowerState::SavingToDisk(_) => "saving to disk",
+            PowerState::Hibernated => "hibernated",
+            PowerState::Off => "off",
+            PowerState::ResumingFromSleep => "resuming from sleep",
+            PowerState::ResumingFromDisk => "resuming from disk",
+            PowerState::Booting => "booting",
+        }
+    }
+
+    /// Applies a command, starting the corresponding transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IllegalTransition`] when the command does not exist from
+    /// the current state (e.g. throttling a sleeping server).
+    pub fn apply(&mut self, command: ServerCommand) -> Result<(), IllegalTransition> {
+        let illegal = |s: &Self, c: &'static str| IllegalTransition {
+            from: s.state_name(),
+            command: c,
+        };
+        match (self.state, command) {
+            (PowerState::Active(_), ServerCommand::SetThrottle(level)) => {
+                self.state = PowerState::Active(level);
+                Ok(())
+            }
+            (PowerState::Active(level), ServerCommand::Sleep) => {
+                self.state = PowerState::EnteringSleep;
+                self.timer = self.transitions().sleep_enter(level.effective_speed());
+                Ok(())
+            }
+            (PowerState::Active(_), ServerCommand::Hibernate { state, level }) => {
+                self.state = PowerState::SavingToDisk(level);
+                self.timer = self.transitions().hibernate_save(state, level.effective_speed());
+                self.saved_state = state;
+                self.saved_throttled = level != ThrottleLevel::NONE;
+                Ok(())
+            }
+            // Power can be cut from any state; volatile state survives only
+            // if it was already on disk.
+            (PowerState::Hibernated, ServerCommand::PowerOff) => Ok(()),
+            (_, ServerCommand::PowerOff) => {
+                self.state = PowerState::Off;
+                self.timer = Seconds::ZERO;
+                Ok(())
+            }
+            (PowerState::Sleeping, ServerCommand::PowerOn) => {
+                self.state = PowerState::ResumingFromSleep;
+                self.timer = self.transitions().sleep_resume();
+                Ok(())
+            }
+            (PowerState::Hibernated, ServerCommand::PowerOn) => {
+                self.state = PowerState::ResumingFromDisk;
+                self.timer = self
+                    .transitions()
+                    .hibernate_resume(self.saved_state, self.saved_throttled);
+                Ok(())
+            }
+            (PowerState::Off, ServerCommand::PowerOn) => {
+                self.state = PowerState::Booting;
+                self.timer = self.transitions().boot();
+                Ok(())
+            }
+            (_, ServerCommand::SetThrottle(_)) => Err(illegal(self, "set throttle")),
+            (_, ServerCommand::Sleep) => Err(illegal(self, "sleep")),
+            (_, ServerCommand::Hibernate { .. }) => Err(illegal(self, "hibernate")),
+            (_, ServerCommand::PowerOn) => Err(illegal(self, "power on")),
+        }
+    }
+
+    /// Advances time, progressing transitional states and integrating
+    /// energy. Returns the energy consumed during this interval.
+    pub fn advance(&mut self, dt: Seconds, utilization: Fraction) -> WattHours {
+        if dt.value() <= 0.0 {
+            return WattHours::ZERO;
+        }
+        let consumed = self.power(utilization) * dt;
+        self.energy += consumed;
+        if self.timer.value() > 0.0 {
+            self.timer -= dt;
+            if self.timer.value() <= 0.0 {
+                self.timer = Seconds::ZERO;
+                self.state = match self.state {
+                    PowerState::EnteringSleep => PowerState::Sleeping,
+                    PowerState::SavingToDisk(_) => PowerState::Hibernated,
+                    PowerState::ResumingFromSleep
+                    | PowerState::ResumingFromDisk
+                    | PowerState::Booting => PowerState::active_full(),
+                    other => other,
+                };
+            }
+        }
+        consumed
+    }
+
+    /// Whether the server is mid-transition.
+    #[must_use]
+    pub fn in_transition(&self) -> bool {
+        self.timer.value() > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_units::MegabytesPerSecond;
+
+    fn server() -> Server {
+        Server::new(ServerSpec::paper_testbed())
+    }
+
+    fn run_until_stable(s: &mut Server, max: f64) {
+        let mut t = 0.0f64;
+        while s.in_transition() && t < max {
+            let _ = s.advance(Seconds::new(1.0), Fraction::new(0.5));
+            t += 1.0;
+        }
+    }
+
+    #[test]
+    fn sleep_wake_cycle() {
+        let mut s = server();
+        s.apply(ServerCommand::Sleep).unwrap();
+        assert!(matches!(s.state(), PowerState::EnteringSleep));
+        run_until_stable(&mut s, 60.0);
+        assert!(matches!(s.state(), PowerState::Sleeping));
+        assert!(s.power(Fraction::ONE).value() <= 6.0);
+        s.apply(ServerCommand::PowerOn).unwrap();
+        run_until_stable(&mut s, 60.0);
+        assert!(s.state().is_serving());
+    }
+
+    #[test]
+    fn hibernate_cycle_with_power_cut() {
+        let mut s = server();
+        s.apply(ServerCommand::Hibernate {
+            state: Gigabytes::new(18.0),
+            level: ThrottleLevel::NONE,
+        })
+        .unwrap();
+        run_until_stable(&mut s, 400.0);
+        assert!(matches!(s.state(), PowerState::Hibernated));
+        // Cutting power of a hibernated server changes nothing.
+        s.apply(ServerCommand::PowerOff).unwrap();
+        assert!(matches!(s.state(), PowerState::Hibernated));
+        s.apply(ServerCommand::PowerOn).unwrap();
+        run_until_stable(&mut s, 400.0);
+        assert!(s.state().is_serving());
+    }
+
+    #[test]
+    fn illegal_transitions_are_refused() {
+        let mut s = server();
+        s.apply(ServerCommand::Sleep).unwrap();
+        run_until_stable(&mut s, 60.0);
+        let err = s
+            .apply(ServerCommand::SetThrottle(ThrottleLevel::NONE))
+            .unwrap_err();
+        assert_eq!(err.from, "sleeping");
+        assert!(err.to_string().contains("cannot set throttle"));
+        assert!(s.apply(ServerCommand::Sleep).is_err());
+        assert!(s
+            .apply(ServerCommand::Hibernate {
+                state: Gigabytes::new(1.0),
+                level: ThrottleLevel::NONE,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn crash_requires_boot() {
+        let mut s = server();
+        s.apply(ServerCommand::PowerOff).unwrap();
+        assert!(!s.state().preserves_memory());
+        assert_eq!(s.power(Fraction::ONE), Watts::ZERO);
+        s.apply(ServerCommand::PowerOn).unwrap();
+        assert!(matches!(s.state(), PowerState::Booting));
+        run_until_stable(&mut s, 200.0);
+        assert!(s.state().is_serving());
+    }
+
+    #[test]
+    fn timings_match_transition_model() {
+        // Cross-check against TransitionTimes (which the cluster simulator
+        // uses directly): a hibernation of 18 GB takes 230 s.
+        let mut s = server();
+        s.apply(ServerCommand::Hibernate {
+            state: Gigabytes::new(18.0),
+            level: ThrottleLevel::NONE,
+        })
+        .unwrap();
+        let mut t = 0.0f64;
+        while s.in_transition() {
+            let _ = s.advance(Seconds::new(1.0), Fraction::new(0.9));
+            t += 1.0;
+        }
+        assert!((t - 230.0).abs() <= 1.0, "hibernate took {t} s");
+    }
+
+    #[test]
+    fn energy_integrates_power() {
+        let mut s = server();
+        let consumed = s.advance(Seconds::from_hours(1.0), Fraction::ONE);
+        // One hour at peak power = 250 Wh.
+        assert!((consumed.value() - 250.0).abs() < 1e-9);
+        assert_eq!(s.energy_consumed(), consumed);
+    }
+
+    #[test]
+    fn throttle_changes_take_effect_immediately() {
+        let mut s = server();
+        let before = s.power(Fraction::ONE);
+        s.apply(ServerCommand::SetThrottle(ThrottleLevel {
+            p: crate::PState::slowest(),
+            t: crate::TState::full(),
+        }))
+        .unwrap();
+        assert!(s.power(Fraction::ONE) < before);
+    }
+
+    #[test]
+    fn custom_disk_speeds_flow_through() {
+        let spec = ServerSpec::paper_testbed().with_disk(
+            MegabytesPerSecond::new(160.0),
+            MegabytesPerSecond::new(240.0),
+        );
+        let mut s = Server::new(spec);
+        s.apply(ServerCommand::Hibernate {
+            state: Gigabytes::new(18.0),
+            level: ThrottleLevel::NONE,
+        })
+        .unwrap();
+        let mut t = 0.0f64;
+        while s.in_transition() {
+            let _ = s.advance(Seconds::new(1.0), Fraction::new(0.9));
+            t += 1.0;
+        }
+        // Twice the disk speed roughly halves the save.
+        assert!(t < 130.0, "save took {t} s");
+    }
+}

@@ -1,0 +1,200 @@
+//! Whole-datacenter simulation: heterogeneous sections under one outage.
+//!
+//! §7: "Multiple datacenters or sections in a datacenter could have
+//! different backup configurations, in the spectrum of cost-performability
+//! choices we outlined." With the paper's rack-level UPS placement, each
+//! section's racks carry their own battery slice and the facility DG is
+//! provisioned proportionally, so sections ride an outage independently;
+//! this module composes per-section simulations into facility-level
+//! metrics (capacity-weighted performance, worst downtime, aggregate
+//! energy).
+
+use crate::{Cluster, OutageSim, SimOutcome, Technique};
+use dcb_power::BackupConfig;
+use dcb_units::{Fraction, Seconds, WattHours, Watts};
+
+/// One section of a datacenter: a cluster, the backup configuration its
+/// racks carry, and the technique it executes during outages.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// A short name for reporting.
+    pub name: String,
+    /// The section's servers and workload.
+    pub cluster: Cluster,
+    /// The backup provisioned for this section (fractions of the section's
+    /// own peak).
+    pub config: BackupConfig,
+    /// The outage-handling technique this section runs.
+    pub technique: Technique,
+}
+
+/// A heterogeneous datacenter.
+#[derive(Debug, Clone, Default)]
+pub struct Datacenter {
+    sections: Vec<Section>,
+}
+
+/// The facility-level outcome of one outage.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DatacenterOutcome {
+    /// Per-section outcomes, in section order.
+    pub sections: Vec<(String, SimOutcome)>,
+    /// Peak-power-weighted average performance during the outage.
+    pub perf_during_outage: Fraction,
+    /// The worst per-section expected downtime.
+    pub worst_downtime: Seconds,
+    /// Aggregate backup energy drawn.
+    pub energy: WattHours,
+    /// Whether every section executed its technique to plan.
+    pub all_feasible: bool,
+    /// Number of sections that lost volatile state.
+    pub sections_losing_state: usize,
+}
+
+impl Datacenter {
+    /// An empty datacenter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a section (builder style).
+    #[must_use]
+    pub fn with_section(
+        mut self,
+        name: impl Into<String>,
+        cluster: Cluster,
+        config: BackupConfig,
+        technique: Technique,
+    ) -> Self {
+        self.sections.push(Section {
+            name: name.into(),
+            cluster,
+            config,
+            technique,
+        });
+        self
+    }
+
+    /// The sections.
+    #[must_use]
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Total nameplate peak across sections.
+    #[must_use]
+    pub fn peak_power(&self) -> Watts {
+        self.sections.iter().map(|s| s.cluster.peak_power()).sum()
+    }
+
+    /// Simulates one outage hitting the whole facility at absolute time
+    /// `start` (diurnal sections resolve their load at that hour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datacenter has no sections.
+    #[must_use]
+    pub fn run_at(&self, start: Seconds, outage: Seconds) -> DatacenterOutcome {
+        assert!(!self.sections.is_empty(), "datacenter has no sections");
+        let mut outcomes = Vec::with_capacity(self.sections.len());
+        let total_peak = self.peak_power();
+        let mut weighted_perf = 0.0;
+        let mut worst_downtime = Seconds::ZERO;
+        let mut energy = WattHours::ZERO;
+        let mut all_feasible = true;
+        let mut losses = 0usize;
+        for section in &self.sections {
+            let sim = OutageSim::new(
+                section.cluster,
+                section.config.clone(),
+                section.technique.clone(),
+            );
+            let outcome = sim.run_at(start, outage);
+            let weight = section.cluster.peak_power() / total_peak;
+            weighted_perf += outcome.perf_during_outage.value() * weight;
+            worst_downtime = worst_downtime.max(outcome.downtime.expected);
+            energy += outcome.energy;
+            all_feasible &= outcome.feasible;
+            losses += usize::from(outcome.state_lost);
+            outcomes.push((section.name.clone(), outcome));
+        }
+        DatacenterOutcome {
+            sections: outcomes,
+            perf_during_outage: Fraction::new(weighted_perf),
+            worst_downtime,
+            energy,
+            all_feasible,
+            sections_losing_state: losses,
+        }
+    }
+
+    /// Simulates an outage starting at t = 0.
+    #[must_use]
+    pub fn run(&self, outage: Seconds) -> DatacenterOutcome {
+        self.run_at(Seconds::ZERO, outage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_workload::Workload;
+
+    fn mixed() -> Datacenter {
+        Datacenter::new()
+            .with_section(
+                "frontend",
+                Cluster::rack(Workload::web_search()),
+                BackupConfig::large_e_ups(),
+                Technique::ride_through(),
+            )
+            .with_section(
+                "cache",
+                Cluster::rack(Workload::memcached()),
+                BackupConfig::small_pups(),
+                Technique::sleep_l(),
+            )
+            .with_section(
+                "batch",
+                Cluster::rack(Workload::spec_cpu()),
+                BackupConfig::small_pups(),
+                Technique::throttle_sleep_l(crate::technique::low_power_level()),
+            )
+    }
+
+    #[test]
+    fn sections_ride_the_same_outage_differently() {
+        let outcome = mixed().run(Seconds::from_minutes(20.0));
+        assert!(outcome.all_feasible);
+        assert_eq!(outcome.sections_losing_state, 0);
+        let frontend = &outcome.sections[0].1;
+        let cache = &outcome.sections[1].1;
+        // The frontend keeps serving; the cache sleeps.
+        assert!(frontend.perf_during_outage.value() > 0.99);
+        assert_eq!(cache.perf_during_outage.value(), 0.0);
+        // Facility-level perf is the capacity-weighted blend.
+        let perf = outcome.perf_during_outage.value();
+        assert!(perf > 0.3 && perf < 0.99, "blended perf {perf}");
+    }
+
+    #[test]
+    fn worst_downtime_tracks_the_weakest_section() {
+        let outcome = mixed().run(Seconds::from_minutes(20.0));
+        let cache_downtime = outcome.sections[1].1.downtime.expected;
+        assert!(outcome.worst_downtime >= cache_downtime);
+    }
+
+    #[test]
+    fn peak_power_sums_sections() {
+        let dc = mixed();
+        assert_eq!(dc.peak_power().value(), 3.0 * 16.0 * 250.0);
+        assert_eq!(dc.sections().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sections")]
+    fn empty_datacenter_rejected() {
+        let _ = Datacenter::new().run(Seconds::new(30.0));
+    }
+}

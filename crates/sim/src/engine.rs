@@ -1,0 +1,949 @@
+//! The time-stepped outage simulation engine.
+
+use crate::{Cluster, FinalState, InitialAction, Fallback, SimOutcome, Technique};
+use dcb_migration::{ConsolidationPlan, MigrationModel};
+use dcb_power::{BackupConfig, BackupSystem, Ups};
+use dcb_server::{ThrottleLevel, TransitionTimes};
+use dcb_units::{Fraction, Gigabytes, Seconds, Watts};
+use dcb_workload::DowntimeRange;
+
+/// Simulates one cluster through one utility outage under one
+/// outage-handling technique and one backup configuration.
+///
+/// The engine advances in fixed steps (sub-second for short outages, a few
+/// seconds for multi-hour ones), at each step deciding the cluster's load
+/// from its mode, drawing that load from the [`BackupSystem`] (diesel ramp
+/// first, Peukert battery for the remainder), progressing state-transition
+/// timers, and accumulating the paper's metrics. Hybrid techniques switch
+/// from their sustain phase to their save-state fallback at the latest
+/// instant the remaining battery charge still covers the save — the
+/// planning rule behind the paper's *Throttle+Sleep-L* results.
+#[derive(Debug, Clone)]
+pub struct OutageSim {
+    cluster: Cluster,
+    config: BackupConfig,
+    technique: Technique,
+    migration: MigrationModel,
+    consolidation: ConsolidationPlan,
+    tare_fraction: f64,
+}
+
+/// What the cluster is doing at an instant of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Serving {
+        level: ThrottleLevel,
+        share: Fraction,
+    },
+    Migrating {
+        during: ThrottleLevel,
+        after: ThrottleLevel,
+        remaining: Seconds,
+        pause: Seconds,
+    },
+    EnteringSleep {
+        level: ThrottleLevel,
+        remaining: Seconds,
+    },
+    Sleeping,
+    /// S3 with NIC + memory controller alive: peers serve reads over RDMA.
+    SleepingRemote,
+    Saving {
+        level: ThrottleLevel,
+        remaining: Seconds,
+    },
+    /// State safe in NVDIMM flash, servers powered off.
+    NvdimmPersisted,
+    Hibernated {
+        saved_throttled: bool,
+    },
+    Crashed,
+    Recovering {
+        remaining: Seconds,
+    },
+}
+
+impl OutageSim {
+    /// Safety factor on the charge reserved for a fallback save.
+    const FALLBACK_SAFETY: f64 = 1.1;
+    /// UPS electronics tare draw while discharging, as a fraction of the
+    /// unit's power rating.
+    const DEFAULT_TARE: f64 = 0.005;
+
+    /// Creates a simulation with the default migration model (Xen over
+    /// 1 Gbps) and the paper's 2-to-1 consolidation.
+    #[must_use]
+    pub fn new(cluster: Cluster, config: BackupConfig, technique: Technique) -> Self {
+        Self {
+            cluster,
+            config,
+            technique,
+            migration: MigrationModel::xen_default(),
+            consolidation: ConsolidationPlan::halve(),
+            tare_fraction: Self::DEFAULT_TARE,
+        }
+    }
+
+    /// Overrides the migration model.
+    #[must_use]
+    pub fn with_migration(mut self, migration: MigrationModel) -> Self {
+        self.migration = migration;
+        self
+    }
+
+    /// Overrides the consolidation plan.
+    #[must_use]
+    pub fn with_consolidation(mut self, consolidation: ConsolidationPlan) -> Self {
+        self.consolidation = consolidation;
+        self
+    }
+
+    /// Overrides the UPS tare fraction (0 disables the tare).
+    #[must_use]
+    pub fn with_tare_fraction(mut self, tare: f64) -> Self {
+        assert!((0.0..1.0).contains(&tare), "tare must be in [0, 1)");
+        self.tare_fraction = tare;
+        self
+    }
+
+    /// The cluster under test.
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The backup configuration under test.
+    #[must_use]
+    pub fn config(&self) -> &BackupConfig {
+        &self.config
+    }
+
+    /// The technique under test.
+    #[must_use]
+    pub fn technique(&self) -> &Technique {
+        &self.technique
+    }
+
+    /// Number of servers still powered in a mode.
+    fn active_servers(&self, share: Fraction) -> f64 {
+        (f64::from(self.cluster.size()) * share.value()).ceil()
+    }
+
+    /// Cluster IT load (before UPS tare) for a mode.
+    fn cluster_load(&self, mode: &Mode) -> Watts {
+        let spec = self.cluster.spec();
+        let util = self.cluster.workload().utilization();
+        let n = f64::from(self.cluster.size());
+        match mode {
+            Mode::Serving { level, share } => {
+                spec.active_power(*level, util) * self.active_servers(*share)
+            }
+            Mode::Migrating { during, .. } => {
+                // Source and destination both busy plus copy overhead — the
+                // "momentary spike" of §5, capped at nameplate peak.
+                (spec.active_power(*during, util) * 1.05 * n).min(self.cluster.peak_power())
+            }
+            Mode::EnteringSleep { level, .. } | Mode::Saving { level, .. } => {
+                spec.active_power(*level, util) * n
+            }
+            Mode::Sleeping => spec.sleep_power() * n,
+            // Barely-alive: S3 plus an active NIC and memory controller.
+            Mode::SleepingRemote => (spec.sleep_power() + Watts::new(10.0)) * n,
+            Mode::Hibernated { .. } | Mode::Crashed | Mode::NvdimmPersisted => Watts::ZERO,
+            Mode::Recovering { .. } => {
+                spec.active_power(ThrottleLevel::NONE, Fraction::new(0.7)) * n
+            }
+        }
+    }
+
+    /// IT load plus UPS electronics tare (drawn whenever the backup is
+    /// carrying a nonzero load).
+    ///
+    /// The tare is conversion overhead internal to the UPS: it drains the
+    /// battery but is bounded by the unit's rating, so the combined draw is
+    /// capped at the cluster's nameplate peak (the quantity the electronics
+    /// are sized against).
+    fn supply_load(&self, mode: &Mode, backup: &BackupSystem) -> Watts {
+        let it = self.cluster_load(mode);
+        if it.is_zero() {
+            return it;
+        }
+        let tare = backup
+            .ups()
+            .map_or(Watts::ZERO, |u| u.power_capacity() * self.tare_fraction);
+        (it + tare).min(self.cluster.peak_power().max(it))
+    }
+
+    /// The state volume a hibernation-style save must write.
+    fn hibernate_state(&self, proactive: bool) -> Gigabytes {
+        let w = self.cluster.workload();
+        let eff = w.hibernate_io_efficiency();
+        let raw = if proactive {
+            w.dirty_profile().proactive_hibernate_residual
+        } else {
+            w.hibernate_image()
+        };
+        if eff.is_zero() {
+            Gigabytes::new(f64::INFINITY)
+        } else {
+            raw / eff.value()
+        }
+    }
+
+    /// Initial mode implied by the technique.
+    fn initial_mode(&self, transitions: &TransitionTimes) -> (Mode, bool) {
+        match self.technique.initial() {
+            InitialAction::Continue(level) => (
+                Mode::Serving {
+                    level,
+                    share: Fraction::ONE,
+                },
+                false,
+            ),
+            InitialAction::Crash => (Mode::Crashed, true),
+            InitialAction::StartSleep(level) => (
+                Mode::EnteringSleep {
+                    level,
+                    remaining: transitions.sleep_enter(level.effective_speed()),
+                },
+                false,
+            ),
+            InitialAction::StartHibernate { level, proactive } => (
+                Mode::Saving {
+                    level,
+                    remaining: transitions
+                        .hibernate_save(self.hibernate_state(proactive), level.effective_speed()),
+                },
+                false,
+            ),
+            InitialAction::PersistNvdimm => (Mode::NvdimmPersisted, false),
+            InitialAction::StartRemoteSleep(level) => (
+                Mode::EnteringSleep {
+                    level,
+                    remaining: transitions.sleep_enter(level.effective_speed()),
+                },
+                false,
+            ),
+            InitialAction::StartMigration {
+                proactive,
+                during,
+                after,
+            } => {
+                let w = self.cluster.workload();
+                let state = if proactive {
+                    w.dirty_profile().proactive_migration_residual
+                } else {
+                    w.memory_footprint()
+                };
+                let plan = self.migration.plan(state, w.dirty_profile().dirty_rate);
+                (
+                    Mode::Migrating {
+                        during,
+                        after,
+                        remaining: plan.duration,
+                        pause: plan.pause,
+                    },
+                    false,
+                )
+            }
+        }
+    }
+
+    /// Charge fraction a UPS needs to carry the listed `(load, duration)`
+    /// phases back to back (rate-dependent Peukert accounting).
+    fn charge_needed(ups: &Ups, phases: &[(Watts, Seconds)]) -> f64 {
+        phases
+            .iter()
+            .map(|(load, duration)| {
+                if duration.value() <= 0.0 {
+                    return 0.0;
+                }
+                let runtime = ups.pack().runtime_at(*load);
+                if runtime.value().is_finite() && runtime.value() > 0.0 {
+                    duration.value() / runtime.value()
+                } else if load.value() <= 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .sum()
+    }
+
+    /// Whether a serving cluster must switch to its fallback *now* to keep
+    /// the save (plus, for sleep, the rest of the outage) within the
+    /// remaining battery charge.
+    #[allow(clippy::too_many_arguments)]
+    fn must_fall_back(
+        &self,
+        fallback: Fallback,
+        backup: &BackupSystem,
+        transitions: &TransitionTimes,
+        mode: &Mode,
+        t: Seconds,
+        outage: Seconds,
+        step: Seconds,
+    ) -> bool {
+        // A DG that can carry the serving load indefinitely means the
+        // sustain phase never has to end.
+        let serving_load = self.supply_load(mode, backup);
+        if backup.endurance(serving_load, t).value().is_infinite() {
+            return false;
+        }
+        let Some(ups) = backup.ups() else {
+            return true; // no battery at all: save immediately (will fail anyway)
+        };
+        let share = match mode {
+            Mode::Serving { share, .. } => *share,
+            _ => Fraction::ONE,
+        };
+        let n = self.active_servers(share);
+        let spec = self.cluster.spec();
+        let util = self.cluster.workload().utilization();
+        let tare = ups.power_capacity() * self.tare_fraction;
+        let phases: Vec<(Watts, Seconds)> = match fallback {
+            Fallback::Sleep(level) => {
+                let entry_time = transitions.sleep_enter(level.effective_speed());
+                let entry_load = spec.active_power(level, util) * n + tare;
+                let sleep_load = spec.sleep_power() * n + tare;
+                let rest = (outage - t - entry_time).max(Seconds::ZERO);
+                vec![(entry_load, entry_time), (sleep_load, rest)]
+            }
+            Fallback::Hibernate { level, proactive } => {
+                let save_time = transitions
+                    .hibernate_save(self.hibernate_state(proactive), level.effective_speed());
+                let save_load = spec.active_power(level, util) * n + tare;
+                vec![(save_load, save_time)]
+            }
+            // NVDIMM persistence is supercap-powered: no reserve needed;
+            // serve until the battery cannot cover even the next step.
+            Fallback::Nvdimm => Vec::new(),
+        };
+        let needed = Self::charge_needed(ups, &phases);
+        // Serving one more step costs this much charge; fall back when we
+        // can no longer afford both.
+        let step_cost = Self::charge_needed(ups, &[(serving_load, step)]);
+        ups.charge().value() <= (needed * Self::FALLBACK_SAFETY + step_cost).min(1.0)
+    }
+
+    /// Enters the fallback mode.
+    fn fallback_mode(&self, fallback: Fallback, transitions: &TransitionTimes) -> Mode {
+        match fallback {
+            Fallback::Sleep(level) => Mode::EnteringSleep {
+                level,
+                remaining: transitions.sleep_enter(level.effective_speed()),
+            },
+            Fallback::Hibernate { level, proactive } => Mode::Saving {
+                level,
+                remaining: transitions
+                    .hibernate_save(self.hibernate_state(proactive), level.effective_speed()),
+            },
+            Fallback::Nvdimm => Mode::NvdimmPersisted,
+        }
+    }
+
+    /// Runs the simulation for an outage of the given length against a
+    /// freshly provisioned (fully charged) backup system.
+    #[must_use]
+    pub fn run(&self, outage: Seconds) -> SimOutcome {
+        let mut backup = self.config.instantiate(self.cluster.peak_power());
+        self.run_with_backup(outage, &mut backup)
+    }
+
+    /// Runs an outage that begins at absolute time `start`.
+    ///
+    /// For workloads carrying a diurnal [`dcb_workload::LoadProfile`] the
+    /// utilization is resolved at the outage's start and held for its
+    /// duration (load variation *within* an outage is second-order next to
+    /// when it strikes); without a profile this is identical to [`run`].
+    ///
+    /// [`run`]: Self::run
+    #[must_use]
+    pub fn run_at(&self, start: Seconds, outage: Seconds) -> SimOutcome {
+        let sim = self.resolved_at(start);
+        let mut backup = sim.config.instantiate(sim.cluster.peak_power());
+        sim.run_with_backup(outage, &mut backup)
+    }
+
+    /// A copy of this simulation with any load profile resolved at `start`.
+    pub(crate) fn resolved_at(&self, start: Seconds) -> OutageSim {
+        if self.cluster.workload().load_profile().is_none() {
+            return self.clone();
+        }
+        let util = self.cluster.workload().utilization_at(start);
+        let workload = self.cluster.workload().with_constant_load(util);
+        let cluster = Cluster::new(self.cluster.size(), *self.cluster.spec(), workload);
+        OutageSim {
+            cluster,
+            ..self.clone()
+        }
+    }
+
+    /// Runs one outage against an existing backup system, preserving its
+    /// battery state of charge — the building block for simulating yearly
+    /// traces where back-to-back outages find a partially recharged
+    /// battery.
+    #[must_use]
+    pub fn run_with_backup(&self, outage: Seconds, backup: &mut BackupSystem) -> SimOutcome {
+        assert!(
+            outage.value() >= 0.0 && outage.is_finite(),
+            "outage must be finite and non-negative"
+        );
+        let transitions = TransitionTimes::new(*self.cluster.spec());
+        let w = *self.cluster.workload();
+        let (mut mode, mut state_lost) = self.initial_mode(&transitions);
+        let mut unplanned_crash = false;
+        let mut crash_recovery_engaged = false;
+        let mut serving_integral = 0.0; // normalized-throughput seconds
+        let mut downtime = Seconds::ZERO;
+        let recovery = w.recovery();
+        let boot = self.cluster.spec().boot_time();
+        let expected_recovery = boot
+            + recovery.app_start
+            + recovery.reload_time()
+            + recovery.warmup
+            + recovery.recompute.expected;
+
+        // Step size: fine for short outages, bounded step count for long.
+        let step = Seconds::new((outage.value() / 7200.0).max(0.25));
+        let mut t = Seconds::ZERO;
+        while t < outage {
+            let dt = step.min(outage - t);
+            // Once a DG has ramped up far enough to carry the *unthrottled*
+            // load indefinitely, throttling serves no purpose: restore full
+            // speed (the paper throttles only to ride the DG start-up).
+            if let Mode::Serving { level, share } = &mode {
+                if *level != ThrottleLevel::NONE {
+                    let full = Mode::Serving {
+                        level: ThrottleLevel::NONE,
+                        share: *share,
+                    };
+                    let full_load = self.supply_load(&full, backup);
+                    if backup.endurance(full_load, t).value().is_infinite() {
+                        mode = full;
+                    }
+                }
+            }
+            // Hybrid fallback decision.
+            if let (Mode::Serving { .. }, Some(fb)) = (&mode, self.technique.fallback()) {
+                if self.must_fall_back(fb, backup, &transitions, &mode, t, outage, dt) {
+                    mode = self.fallback_mode(fb, &transitions);
+                }
+            }
+            let load = self.supply_load(&mode, backup);
+            let supply = backup.supply(load, t, dt);
+            if !supply.fully_covered() {
+                // Credit the portion that was sustained, then crash.
+                let sustained = supply.sustained;
+                match &mode {
+                    Mode::Serving { level, share } => {
+                        serving_integral += w
+                            .throughput_at(level.effective_speed(), *share)
+                            .value()
+                            * sustained.value();
+                        downtime += dt - sustained;
+                    }
+                    Mode::Migrating { during, .. } => {
+                        serving_integral += w
+                            .throughput_at(during.effective_speed(), Fraction::ONE)
+                            .value()
+                            * sustained.value();
+                        downtime += dt - sustained;
+                    }
+                    _ => downtime += dt,
+                }
+                match mode {
+                    Mode::Hibernated { .. } | Mode::Crashed | Mode::NvdimmPersisted => {
+                        // Zero-load modes cannot actually get here, but be
+                        // safe: nothing more to lose.
+                    }
+                    Mode::Recovering { .. } => {
+                        mode = Mode::Crashed; // power went away mid-reboot
+                    }
+                    Mode::Serving { .. }
+                        if matches!(self.technique.fallback(), Some(Fallback::Nvdimm)) =>
+                    {
+                        // The in-DIMM supercapacitors flush state as power
+                        // collapses: planned, nothing lost.
+                        mode = Mode::NvdimmPersisted;
+                    }
+                    _ => {
+                        // Losing state that was still intact is an
+                        // unplanned failure of the technique; re-crashing a
+                        // cluster whose state was already gone (e.g. a
+                        // battery-powered reboot that ran dry) adds nothing
+                        // the plan had promised to keep.
+                        if !state_lost {
+                            unplanned_crash = true;
+                        }
+                        state_lost = true;
+                        mode = Mode::Crashed;
+                    }
+                }
+                t += dt;
+                continue;
+            }
+
+            // Power fully supplied: progress the mode.
+            match &mut mode {
+                Mode::Serving { level, share } => {
+                    serving_integral += w
+                        .throughput_at(level.effective_speed(), *share)
+                        .value()
+                        * dt.value();
+                }
+                Mode::Migrating {
+                    after,
+                    remaining,
+                    pause,
+                    during,
+                } => {
+                    if *remaining > *pause {
+                        serving_integral += w
+                            .throughput_at(during.effective_speed(), Fraction::ONE)
+                            .value()
+                            * dt.value();
+                    } else {
+                        downtime += dt; // stop-and-copy pause
+                    }
+                    *remaining -= dt;
+                    if remaining.value() <= 0.0 {
+                        mode = Mode::Serving {
+                            level: *after,
+                            share: self.consolidation.share(),
+                        };
+                    }
+                }
+                Mode::EnteringSleep { remaining, .. } => {
+                    downtime += dt;
+                    *remaining -= dt;
+                    if remaining.value() <= 0.0 {
+                        mode = if matches!(
+                            self.technique.initial(),
+                            InitialAction::StartRemoteSleep(_)
+                        ) {
+                            Mode::SleepingRemote
+                        } else {
+                            Mode::Sleeping
+                        };
+                    }
+                }
+                Mode::Sleeping => downtime += dt,
+                Mode::SleepingRemote => {
+                    // Remote peers keep answering reads from this memory.
+                    serving_integral += w.remote_serve_fraction().value() * dt.value();
+                }
+                Mode::NvdimmPersisted => downtime += dt,
+                Mode::Saving { remaining, level } => {
+                    downtime += dt;
+                    *remaining -= dt;
+                    if remaining.value() <= 0.0 {
+                        mode = Mode::Hibernated {
+                            saved_throttled: *level != ThrottleLevel::NONE,
+                        };
+                    }
+                }
+                Mode::Hibernated { .. } => downtime += dt,
+                Mode::Crashed => {
+                    downtime += dt;
+                    // A sufficiently ramped DG lets the cluster reboot
+                    // mid-outage (NoUPS: "DG translates long outages into
+                    // short ones").
+                    let reboot_load = self.supply_load(
+                        &Mode::Recovering {
+                            remaining: Seconds::ZERO,
+                        },
+                        backup,
+                    );
+                    if backup.available_power(t + dt) >= reboot_load {
+                        crash_recovery_engaged = true;
+                        mode = Mode::Recovering {
+                            remaining: expected_recovery,
+                        };
+                    }
+                }
+                Mode::Recovering { remaining } => {
+                    downtime += dt;
+                    *remaining -= dt;
+                    if remaining.value() <= 0.0 {
+                        mode = Mode::Serving {
+                            level: ThrottleLevel::NONE,
+                            share: Fraction::ONE,
+                        };
+                    }
+                }
+            }
+            t += dt;
+        }
+
+        // Utility restored: compute the recovery tail and final state.
+        let (tail, final_state) = match mode {
+            Mode::Serving { .. } => (Seconds::ZERO, FinalState::Serving),
+            Mode::Migrating { remaining, pause, .. } => {
+                // Service continues; only an in-flight stop-and-copy pause
+                // still blocks requests.
+                (remaining.min(pause).max(Seconds::ZERO), FinalState::Migrating)
+            }
+            Mode::EnteringSleep { remaining, .. } => (
+                remaining.max(Seconds::ZERO) + transitions.sleep_resume(),
+                FinalState::EnteringSleep,
+            ),
+            Mode::Sleeping => (transitions.sleep_resume(), FinalState::Sleeping),
+            Mode::SleepingRemote => (transitions.sleep_resume(), FinalState::Sleeping),
+            Mode::NvdimmPersisted => (
+                transitions.nvdimm_restore(w.memory_footprint()),
+                FinalState::Hibernated,
+            ),
+            Mode::Saving { remaining, level } => (
+                // The suspend image must complete (on utility power) before
+                // the machine can come back.
+                remaining.max(Seconds::ZERO)
+                    + transitions.hibernate_resume(
+                        self.hibernate_state(false),
+                        level != ThrottleLevel::NONE,
+                    ),
+                FinalState::Saving,
+            ),
+            Mode::Hibernated { saved_throttled } => (
+                transitions.hibernate_resume(self.hibernate_state(false), saved_throttled),
+                FinalState::Hibernated,
+            ),
+            Mode::Crashed => {
+                crash_recovery_engaged = true;
+                (expected_recovery, FinalState::Crashed)
+            }
+            Mode::Recovering { remaining } => {
+                (remaining.max(Seconds::ZERO), FinalState::Recovering)
+            }
+        };
+
+        let expected_downtime = downtime + tail;
+        let downtime_range = if crash_recovery_engaged {
+            let rec = recovery.recompute;
+            DowntimeRange {
+                min: (expected_downtime + rec.min - rec.expected).max(Seconds::ZERO),
+                expected: expected_downtime,
+                max: expected_downtime + rec.max - rec.expected,
+            }
+        } else {
+            DowntimeRange::exact(expected_downtime)
+        };
+
+        let perf = if outage.value() > 0.0 {
+            Fraction::new(serving_integral / outage.value())
+        } else {
+            Fraction::ONE
+        };
+        let peak = backup.peak_drawn();
+        SimOutcome {
+            outage,
+            feasible: !unplanned_crash,
+            state_lost,
+            peak_power: peak,
+            peak_power_fraction: Fraction::new(peak / self.cluster.peak_power()),
+            energy: backup.energy_drawn(),
+            perf_during_outage: perf,
+            downtime: downtime_range,
+            downtime_during_outage: downtime,
+            final_state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_workload::Workload;
+
+    fn sim(config: BackupConfig, technique: Technique) -> OutageSim {
+        OutageSim::new(Cluster::rack(Workload::specjbb()), config, technique)
+    }
+
+    fn minutes(m: f64) -> Seconds {
+        Seconds::from_minutes(m)
+    }
+
+    #[test]
+    fn max_perf_is_seamless_for_all_durations() {
+        for m in [0.5, 5.0, 30.0, 60.0, 120.0] {
+            let out = sim(BackupConfig::max_perf(), Technique::ride_through()).run(minutes(m));
+            assert!(out.feasible, "{m} min");
+            assert!(out.seamless(), "{m} min: downtime {:?}", out.downtime);
+            assert!(out.perf_during_outage.value() > 0.999);
+            assert!(!out.state_lost);
+        }
+    }
+
+    #[test]
+    fn min_cost_crashes_with_long_downtime() {
+        let out = sim(BackupConfig::min_cost(), Technique::crash()).run(minutes(0.5));
+        assert!(out.feasible); // the crash is intentional
+        assert!(out.state_lost);
+        assert_eq!(out.final_state, FinalState::Crashed);
+        // §6.1: ~400 s downtime for a 30 s outage.
+        assert!(
+            (out.downtime.expected.value() - 400.0).abs() < 15.0,
+            "downtime {}",
+            out.downtime.expected
+        );
+        assert_eq!(out.perf_during_outage, Fraction::ZERO);
+    }
+
+    #[test]
+    fn no_dg_full_speed_dies_after_two_minutes() {
+        let out = sim(BackupConfig::no_dg(), Technique::ride_through()).run(minutes(10.0));
+        assert!(!out.feasible);
+        assert!(out.state_lost);
+        // Served roughly the first 2 battery minutes of the 10.
+        let served = out.perf_during_outage.value() * 10.0;
+        assert!((1.0..3.5).contains(&served), "served {served} min");
+    }
+
+    #[test]
+    fn no_dg_survives_short_outage_at_full_speed() {
+        let out = sim(BackupConfig::no_dg(), Technique::ride_through()).run(minutes(1.0));
+        assert!(out.feasible);
+        assert!(out.seamless());
+    }
+
+    #[test]
+    fn large_e_ups_rides_30_minutes_at_full_performance() {
+        let out = sim(BackupConfig::large_e_ups(), Technique::ride_through()).run(minutes(30.0));
+        assert!(out.feasible);
+        assert!(out.perf_during_outage.value() > 0.99);
+        assert!(out.seamless());
+    }
+
+    #[test]
+    fn sleep_keeps_downtime_near_outage_plus_resume() {
+        let out = sim(BackupConfig::no_dg(), Technique::sleep_l()).run(minutes(0.5));
+        assert!(out.feasible);
+        assert!(!out.state_lost);
+        // ~38 s for a 30 s outage (§6.2).
+        assert!(
+            (out.downtime.expected.value() - 38.0).abs() < 4.0,
+            "downtime {}",
+            out.downtime.expected
+        );
+    }
+
+    #[test]
+    fn hibernate_is_a_bad_idea_for_short_outages() {
+        let out = sim(BackupConfig::no_dg(), Technique::hibernate()).run(minutes(0.5));
+        assert!(out.feasible);
+        // Save (230 s) must finish, then resume (157 s): ~390 s.
+        assert!(
+            (out.downtime.expected.value() - 387.0).abs() < 10.0,
+            "downtime {}",
+            out.downtime.expected
+        );
+        assert_eq!(out.final_state, FinalState::Saving);
+    }
+
+    #[test]
+    fn throttle_sleep_hybrid_survives_two_hours_on_half_power_ups() {
+        let technique = Technique::throttle_sleep_l(crate::technique::low_power_level());
+        let out = sim(BackupConfig::small_p_large_e_ups(), technique).run(minutes(120.0));
+        assert!(out.feasible, "hybrid died: {:?}", out.final_state);
+        assert!(!out.state_lost);
+        // It served part of the outage before sleeping.
+        assert!(out.perf_during_outage.value() > 0.05);
+    }
+
+    #[test]
+    fn dg_recovers_crashed_cluster_mid_outage() {
+        // NoUPS: crash at t=0, DG carries a reboot ~2 min in; for a 2 h
+        // outage the service is back long before utility power.
+        let out = sim(BackupConfig::no_ups(), Technique::ride_through()).run(minutes(120.0));
+        assert!(!out.feasible); // the crash was unplanned
+        assert!(out.state_lost);
+        // Recovered mid-outage: performance is well above zero.
+        assert!(out.perf_during_outage.value() > 0.8, "perf {:?}", out.perf_during_outage);
+        // Downtime is minutes, not the whole two hours.
+        assert!(out.downtime.expected < minutes(20.0));
+    }
+
+    #[test]
+    fn migration_halves_load_for_long_outages() {
+        let out = sim(BackupConfig::large_e_ups(), Technique::migration()).run(minutes(60.0));
+        assert!(out.feasible, "migration infeasible");
+        assert!(!out.state_lost);
+        // Consolidated performance is about half for most of the hour.
+        let perf = out.perf_during_outage.value();
+        assert!((0.4..0.75).contains(&perf), "perf {perf}");
+    }
+
+    #[test]
+    fn peak_power_fraction_reflects_throttling() {
+        let out = sim(BackupConfig::no_dg(), Technique::throttle_deepest()).run(minutes(2.0));
+        assert!(out.feasible);
+        assert!(
+            out.peak_power_fraction.value() < 0.55,
+            "peak fraction {:?}",
+            out.peak_power_fraction
+        );
+    }
+
+    #[test]
+    fn zero_duration_outage_is_free() {
+        let out = sim(BackupConfig::max_perf(), Technique::ride_through()).run(Seconds::ZERO);
+        assert!(out.feasible && out.seamless());
+        assert_eq!(out.perf_during_outage, Fraction::ONE);
+    }
+
+    #[test]
+    fn no_ups_short_outage_matches_min_cost_downtime() {
+        // §6.1: "In NoUPS ... the down-time is same as that for MinCost" —
+        // for outages shorter than the DG transfer, state is lost and the
+        // recovery dominates either way.
+        let outage = Seconds::new(30.0);
+        let no_ups = sim(BackupConfig::no_ups(), Technique::ride_through()).run(outage);
+        let min_cost = sim(BackupConfig::min_cost(), Technique::crash()).run(outage);
+        assert!(no_ups.state_lost && min_cost.state_lost);
+        // Within ~the DG transfer window of each other.
+        let diff = (no_ups.downtime.expected - min_cost.downtime.expected)
+            .abs()
+            .value();
+        assert!(diff < 150.0, "NoUPS {} vs MinCost {}", no_ups.downtime.expected, min_cost.downtime.expected);
+    }
+
+    #[test]
+    fn throttle_hibernate_hybrid_persists_before_battery_dies() {
+        // Serve throttled, then hibernate with the charge reserved for the
+        // save: state must be on disk when the battery gives out. The
+        // battery must at least cover the ~385 s low-power save, so use a
+        // half-power UPS with 8 minutes of runtime.
+        let config = BackupConfig::custom(
+            "UPS 50% × 8min",
+            Fraction::ZERO,
+            Fraction::HALF,
+            Seconds::from_minutes(8.0),
+        );
+        let technique = Technique::throttle_hibernate(crate::technique::low_power_level());
+        let out = sim(config, technique).run(minutes(60.0));
+        assert!(out.feasible, "save must have completed: {:?}", out.final_state);
+        assert!(!out.state_lost);
+        assert!(matches!(
+            out.final_state,
+            FinalState::Hibernated | FinalState::Saving
+        ));
+        // It served a little before falling back.
+        assert!(out.perf_during_outage.value() > 0.0);
+    }
+
+    #[test]
+    fn throttle_hibernate_on_a_two_minute_battery_is_infeasible() {
+        // The same hybrid on the base 2-minute battery cannot finish the
+        // 385 s low-power save: the engine must report the failure rather
+        // than pretend.
+        let technique = Technique::throttle_hibernate(crate::technique::low_power_level());
+        let out = sim(BackupConfig::no_dg(), technique).run(minutes(60.0));
+        assert!(!out.feasible);
+        assert!(out.state_lost);
+    }
+
+    #[test]
+    fn proactive_hibernate_beats_plain_for_short_outages() {
+        let outage = minutes(0.5);
+        let plain = sim(BackupConfig::no_dg(), Technique::hibernate()).run(outage);
+        let proactive = sim(BackupConfig::no_dg(), Technique::proactive_hibernate()).run(outage);
+        assert!(proactive.downtime.expected < plain.downtime.expected);
+    }
+
+    #[test]
+    fn consolidated_cluster_draws_about_half_power() {
+        let out = sim(BackupConfig::large_e_ups(), Technique::migration()).run(minutes(40.0));
+        assert!(out.feasible);
+        // After the ~10-minute migration the surviving half dominates the
+        // energy draw; the peak still reflects the migration spike.
+        assert!(out.peak_power_fraction.value() > 0.85);
+        let avg_power_fraction = out.energy.value()
+            / (Cluster::rack(Workload::specjbb()).peak_power().value()
+                * Seconds::from_minutes(40.0).to_hours());
+        assert!((0.4..0.8).contains(&avg_power_fraction), "avg {avg_power_fraction}");
+    }
+
+    #[test]
+    fn diurnal_load_changes_outcome_by_time_of_day() {
+        use dcb_workload::LoadProfile;
+        let workload = Workload::specjbb()
+            .with_load_profile(LoadProfile::typical_diurnal(Fraction::new(0.9)));
+        let sim = OutageSim::new(
+            Cluster::rack(workload),
+            BackupConfig::no_dg(),
+            Technique::ride_through(),
+        );
+        // A 3-minute outage at the 8 am trough fits the 2-minute-rated
+        // battery (Peukert stretch at the lower load); the same outage at
+        // the 8 pm peak does not.
+        let trough = sim.run_at(Seconds::from_hours(8.0), minutes(3.0));
+        let peak = sim.run_at(Seconds::from_hours(20.0), minutes(3.0));
+        assert!(trough.feasible, "trough outage should ride through");
+        assert!(!peak.feasible, "peak outage should exhaust the battery");
+    }
+
+    #[test]
+    fn run_at_is_run_for_constant_load() {
+        let s = sim(BackupConfig::no_dg(), Technique::ride_through());
+        let a = s.run(minutes(1.5));
+        let b = s.run_at(Seconds::from_hours(13.0), minutes(1.5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nvdimm_survives_with_no_backup_at_all() {
+        // §7: NVDIMMs persist state "without the need for any external
+        // backup power source" — even the MinCost (no UPS, no DG)
+        // configuration keeps state.
+        let out = sim(BackupConfig::min_cost(), Technique::nvdimm()).run(minutes(30.0));
+        assert!(out.feasible);
+        assert!(!out.state_lost);
+        // Down for the outage plus the flash→DRAM restore (~22 s for 18 GB).
+        let expected_restore = 18.0 * 1000.0 / 1500.0 + 10.0;
+        assert!(
+            (out.downtime.expected.value() - (1800.0 + expected_restore)).abs() < 5.0,
+            "downtime {}",
+            out.downtime.expected
+        );
+        assert_eq!(out.energy.value(), 0.0);
+    }
+
+    #[test]
+    fn throttle_nvdimm_serves_longer_than_throttle_sleep() {
+        // No sleep reserve to keep: the NVDIMM hybrid spends every joule on
+        // service.
+        let level = crate::technique::low_power_level();
+        let config = BackupConfig::small_pups();
+        let outage = minutes(30.0);
+        let nvdimm = sim(config.clone(), Technique::throttle_nvdimm(level)).run(outage);
+        let sleep = sim(config, Technique::throttle_sleep_l(level)).run(outage);
+        assert!(nvdimm.feasible && !nvdimm.state_lost);
+        assert!(
+            nvdimm.perf_during_outage > sleep.perf_during_outage,
+            "nvdimm {:?} vs sleep {:?}",
+            nvdimm.perf_during_outage,
+            sleep.perf_during_outage
+        );
+    }
+
+    #[test]
+    fn rdma_sleep_serves_reads_while_asleep() {
+        let cluster = Cluster::rack(Workload::memcached());
+        let rdma = OutageSim::new(cluster, BackupConfig::no_dg(), Technique::rdma_sleep())
+            .run(minutes(30.0));
+        assert!(rdma.feasible, "barely-alive load must fit the battery");
+        assert!(!rdma.state_lost);
+        // Perf approaches the workload's remote-serve fraction (0.35),
+        // minus the brief sleep-entry window.
+        let perf = rdma.perf_during_outage.value();
+        assert!((0.30..=0.36).contains(&perf), "perf {perf}");
+        // Plain sleep serves nothing.
+        let plain = OutageSim::new(
+            Cluster::rack(Workload::memcached()),
+            BackupConfig::no_dg(),
+            Technique::sleep_l(),
+        )
+        .run(minutes(30.0));
+        assert_eq!(plain.perf_during_outage.value(), 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulation results: the quantities the paper's evaluation reports.
+
+use dcb_units::{Fraction, Seconds, WattHours, Watts};
+use dcb_workload::DowntimeRange;
+
+/// Where the cluster ended up when utility power returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FinalState {
+    /// Still (or again) serving requests.
+    Serving,
+    /// Suspended to RAM with state intact.
+    Sleeping,
+    /// Mid-transition into sleep.
+    EnteringSleep,
+    /// Persisted to disk.
+    Hibernated,
+    /// Mid-save to disk (completes on utility power).
+    Saving,
+    /// Mid-migration (continues/cancels harmlessly on utility power).
+    Migrating,
+    /// Crashed: volatile state lost.
+    Crashed,
+    /// Rebooting/recovering after a crash (power available).
+    Recovering,
+}
+
+/// The outcome of simulating one outage under one technique and backup
+/// configuration.
+///
+/// `downtime` is the paper's metric: total time the application is
+/// unavailable during the outage *and* afterwards (boot, state restore,
+/// reload, warm-up, recompute). `perf_during_outage` is the average
+/// normalized throughput over the outage window only, as in §6
+/// ("we report performance impact over a common duration, the power outage
+/// duration").
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimOutcome {
+    /// The simulated outage length.
+    pub outage: Seconds,
+    /// Whether the technique executed as intended (no *unplanned* crash
+    /// from exhausted or insufficient backup capacity).
+    pub feasible: bool,
+    /// Whether volatile application state was lost.
+    pub state_lost: bool,
+    /// Peak power drawn from the backup infrastructure.
+    pub peak_power: Watts,
+    /// Peak power as a fraction of the cluster's nameplate peak.
+    pub peak_power_fraction: Fraction,
+    /// Energy drawn from the backup infrastructure.
+    pub energy: WattHours,
+    /// Average normalized performance over the outage window.
+    pub perf_during_outage: Fraction,
+    /// Total downtime (within the outage plus the recovery tail).
+    pub downtime: DowntimeRange,
+    /// The portion of the downtime that fell *within* the outage window
+    /// (the remainder is the post-restoration recovery tail).
+    pub downtime_during_outage: Seconds,
+    /// Cluster state at the instant utility power returned.
+    pub final_state: FinalState,
+}
+
+impl SimOutcome {
+    /// Convenience: the expected downtime in minutes (the unit of the
+    /// paper's downtime plots).
+    #[must_use]
+    pub fn downtime_minutes(&self) -> f64 {
+        self.downtime.expected.to_minutes()
+    }
+
+    /// Whether the application stayed fully available (no downtime at all).
+    #[must_use]
+    pub fn seamless(&self) -> bool {
+        self.downtime.max.value() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seamless_requires_zero_downtime() {
+        let outcome = SimOutcome {
+            outage: Seconds::from_minutes(5.0),
+            feasible: true,
+            state_lost: false,
+            peak_power: Watts::new(100.0),
+            peak_power_fraction: Fraction::new(0.5),
+            energy: WattHours::new(10.0),
+            perf_during_outage: Fraction::ONE,
+            downtime: DowntimeRange::exact(Seconds::ZERO),
+            downtime_during_outage: Seconds::ZERO,
+            final_state: FinalState::Serving,
+        };
+        assert!(outcome.seamless());
+        let with_downtime = SimOutcome {
+            downtime: DowntimeRange::exact(Seconds::new(38.0)),
+            ..outcome
+        };
+        assert!(!with_downtime.seamless());
+        assert!((with_downtime.downtime_minutes() - 38.0 / 60.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Data size and bandwidth quantities for application state and migration.
+
+use crate::time::Seconds;
+
+quantity! {
+    /// A data size in gigabytes (decimal, 10⁹ bytes).
+    ///
+    /// Memory footprints of the paper's workloads (Table 7: Web-search 40 GB,
+    /// Specjbb 18 GB, Memcached 20 GB, SpecCPU 16 GB) and dirty-state sizes
+    /// are expressed in gigabytes.
+    ///
+    /// ```
+    /// use dcb_units::{Gigabytes, MegabytesPerSecond};
+    /// let state = Gigabytes::new(18.0);
+    /// let disk = MegabytesPerSecond::new(80.0);
+    /// assert_eq!(state.transfer_time(disk).value(), 225.0);
+    /// ```
+    Gigabytes, "GB"
+}
+
+quantity! {
+    /// A transfer bandwidth in megabytes per second.
+    ///
+    /// Models disk write/read bandwidth (hibernation) and effective network
+    /// bandwidth (migration over 1 Gbps Ethernet).
+    ///
+    /// ```
+    /// use dcb_units::MegabytesPerSecond;
+    /// let gige = MegabytesPerSecond::from_gigabits_per_second(1.0);
+    /// assert_eq!(gige.value(), 125.0);
+    /// ```
+    MegabytesPerSecond, "MB/s"
+}
+
+impl Gigabytes {
+    /// The size in megabytes.
+    #[must_use]
+    pub fn to_megabytes(self) -> f64 {
+        self.value() * 1000.0
+    }
+
+    /// Time to move this much data at `bandwidth`.
+    ///
+    /// Returns an infinite duration for zero or negative bandwidth: the
+    /// transfer never completes.
+    #[must_use]
+    pub fn transfer_time(self, bandwidth: MegabytesPerSecond) -> Seconds {
+        if bandwidth.value() <= 0.0 {
+            Seconds::new(f64::INFINITY)
+        } else {
+            Seconds::new(self.to_megabytes() / bandwidth.value())
+        }
+    }
+}
+
+impl MegabytesPerSecond {
+    /// Converts a link rate in gigabits per second to an ideal byte
+    /// bandwidth (no protocol overhead).
+    #[must_use]
+    pub fn from_gigabits_per_second(gbps: f64) -> Self {
+        Self::new(gbps * 1000.0 / 8.0)
+    }
+
+    /// Data moved in `duration` at this bandwidth.
+    #[must_use]
+    pub fn transferred_in(self, duration: Seconds) -> Gigabytes {
+        Gigabytes::new(self.value() * duration.value() / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transfer_time_zero_bandwidth_is_infinite() {
+        assert!(Gigabytes::new(1.0)
+            .transfer_time(MegabytesPerSecond::ZERO)
+            .value()
+            .is_infinite());
+    }
+
+    #[test]
+    fn gige_is_125_mbps() {
+        assert_eq!(
+            MegabytesPerSecond::from_gigabits_per_second(1.0).value(),
+            125.0
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn transfer_round_trip(gb in 0.0f64..1e4, bw in 1.0f64..1e4) {
+            let size = Gigabytes::new(gb);
+            let bandwidth = MegabytesPerSecond::new(bw);
+            let t = size.transfer_time(bandwidth);
+            let back = bandwidth.transferred_in(t);
+            prop_assert!((back.value() - gb).abs() <= gb.abs() * 1e-12 + 1e-9);
+        }
+
+        #[test]
+        fn transfer_time_monotone_in_size(a in 0.0f64..1e4, extra in 0.0f64..1e4, bw in 1.0f64..1e4) {
+            let bandwidth = MegabytesPerSecond::new(bw);
+            prop_assert!(
+                Gigabytes::new(a + extra).transfer_time(bandwidth)
+                    >= Gigabytes::new(a).transfer_time(bandwidth)
+            );
+        }
+    }
+}

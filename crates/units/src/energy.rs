@@ -1,0 +1,119 @@
+//! Electrical energy quantities.
+
+use crate::power::Watts;
+use crate::time::Seconds;
+
+quantity! {
+    /// Electrical energy in watt-hours.
+    ///
+    /// Battery state-of-charge and per-outage energy budgets are tracked in
+    /// watt-hours.
+    ///
+    /// ```
+    /// use dcb_units::{WattHours, Watts, Seconds};
+    /// let budget = WattHours::new(500.0);
+    /// let runtime = budget.runtime_at(Watts::new(1000.0));
+    /// assert_eq!(runtime, Seconds::from_minutes(30.0));
+    /// ```
+    WattHours, "Wh"
+}
+
+quantity! {
+    /// Electrical energy in kilowatt-hours, the unit of the paper's UPS
+    /// energy cost (`$50/kWh/year`, Table 1).
+    ///
+    /// ```
+    /// use dcb_units::{KilowattHours, WattHours};
+    /// assert_eq!(WattHours::from(KilowattHours::new(1.5)).value(), 1500.0);
+    /// ```
+    KilowattHours, "kWh"
+}
+
+impl WattHours {
+    /// Converts to kilowatt-hours.
+    #[must_use]
+    pub fn to_kilowatt_hours(self) -> KilowattHours {
+        KilowattHours::new(self.value() / 1000.0)
+    }
+
+    /// How long this much energy lasts at a constant `load`, assuming an
+    /// ideal (linear) store. Nonlinear battery behaviour lives in
+    /// `dcb-battery`; this is the ideal-capacity baseline.
+    ///
+    /// Returns an effectively infinite duration when the load is zero or
+    /// negative.
+    #[must_use]
+    pub fn runtime_at(self, load: Watts) -> Seconds {
+        if load.value() <= 0.0 {
+            Seconds::new(f64::INFINITY)
+        } else {
+            Seconds::from_hours(self.value() / load.value())
+        }
+    }
+}
+
+impl KilowattHours {
+    /// Converts to watt-hours.
+    #[must_use]
+    pub fn to_watt_hours(self) -> WattHours {
+        WattHours::new(self.value() * 1000.0)
+    }
+}
+
+impl From<KilowattHours> for WattHours {
+    fn from(kwh: KilowattHours) -> Self {
+        kwh.to_watt_hours()
+    }
+}
+
+impl From<WattHours> for KilowattHours {
+    fn from(wh: WattHours) -> Self {
+        wh.to_kilowatt_hours()
+    }
+}
+
+/// Energy divided by power yields the time it lasts (ideal store).
+impl core::ops::Div<Watts> for WattHours {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        self.runtime_at(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn runtime_at_zero_load_is_infinite() {
+        assert!(WattHours::new(100.0).runtime_at(Watts::ZERO).value().is_infinite());
+    }
+
+    #[test]
+    fn energy_power_time_closure() {
+        // E / P * P == E
+        let e = WattHours::new(660.0);
+        let p = Watts::new(4000.0);
+        let t = e / p;
+        let back = p * t;
+        assert!((back.value() - e.value()).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn kwh_round_trip(v in -1e9f64..1e9) {
+            let e = KilowattHours::new(v);
+            let back = KilowattHours::from(WattHours::from(e));
+            prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12 + 1e-12);
+        }
+
+        #[test]
+        fn runtime_monotone_in_energy(e1 in 0.0f64..1e6, extra in 0.0f64..1e6, p in 1.0f64..1e6) {
+            let load = Watts::new(p);
+            let t1 = WattHours::new(e1).runtime_at(load);
+            let t2 = WattHours::new(e1 + extra).runtime_at(load);
+            prop_assert!(t2 >= t1);
+        }
+    }
+}

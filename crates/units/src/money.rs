@@ -1,0 +1,145 @@
+//! Economic quantities for the backup infrastructure cost model.
+
+use crate::energy::KilowattHours;
+use crate::power::Kilowatts;
+use crate::time::Years;
+
+quantity! {
+    /// An absolute amount of money in US dollars.
+    ///
+    /// ```
+    /// use dcb_units::Dollars;
+    /// let server = Dollars::new(2_000.0);
+    /// assert_eq!((server / 4.0).value(), 500.0);
+    /// ```
+    Dollars, "$"
+}
+
+quantity! {
+    /// An amortized yearly cost in `$/year` — the unit of Equations (1) and
+    /// (2) in the paper (linear depreciation of capital expenditure).
+    ///
+    /// ```
+    /// use dcb_units::{DollarsPerYear, Years};
+    /// let capex = DollarsPerYear::new(100_000.0);
+    /// assert_eq!(capex.over(Years::new(2.0)).value(), 200_000.0);
+    /// ```
+    DollarsPerYear, "$/yr"
+}
+
+quantity! {
+    /// A power-capacity cost rate in `$/kW/year`, e.g. the paper's
+    /// `DGPowerCost = $83.3/kW/year` (Table 1).
+    ///
+    /// ```
+    /// use dcb_units::{DollarsPerKwYear, Kilowatts};
+    /// let rate = DollarsPerKwYear::new(50.0);
+    /// assert_eq!((rate * Kilowatts::new(1_000.0)).value(), 50_000.0);
+    /// ```
+    DollarsPerKwYear, "$/kW/yr"
+}
+
+quantity! {
+    /// An energy-capacity cost rate in `$/kWh/year`, e.g. the paper's
+    /// `UPSEnergyCost = $50/kWh/year` (Table 1).
+    ///
+    /// ```
+    /// use dcb_units::{DollarsPerKwhYear, KilowattHours};
+    /// let rate = DollarsPerKwhYear::new(50.0);
+    /// assert_eq!((rate * KilowattHours::new(100.0)).value(), 5_000.0);
+    /// ```
+    DollarsPerKwhYear, "$/kWh/yr"
+}
+
+impl Dollars {
+    /// Amortizes a capital cost linearly over `lifetime`, following the
+    /// paper's depreciation model ("We express cap-ex as amortized $/year,
+    /// using a linear depreciation model", §3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lifetime` is not strictly positive.
+    #[must_use]
+    pub fn amortize(self, lifetime: Years) -> DollarsPerYear {
+        assert!(
+            lifetime.is_positive(),
+            "amortization lifetime must be positive"
+        );
+        DollarsPerYear::new(self.value() / lifetime.value())
+    }
+}
+
+impl DollarsPerYear {
+    /// Total money spent over `span` at this yearly rate.
+    #[must_use]
+    pub fn over(self, span: Years) -> Dollars {
+        Dollars::new(self.value() * span.value())
+    }
+}
+
+/// `$/kW/yr × kW = $/yr`.
+impl core::ops::Mul<Kilowatts> for DollarsPerKwYear {
+    type Output = DollarsPerYear;
+    fn mul(self, rhs: Kilowatts) -> DollarsPerYear {
+        DollarsPerYear::new(self.value() * rhs.value())
+    }
+}
+
+/// `kW × $/kW/yr = $/yr` (commutative form).
+impl core::ops::Mul<DollarsPerKwYear> for Kilowatts {
+    type Output = DollarsPerYear;
+    fn mul(self, rhs: DollarsPerKwYear) -> DollarsPerYear {
+        rhs * self
+    }
+}
+
+/// `$/kWh/yr × kWh = $/yr`.
+impl core::ops::Mul<KilowattHours> for DollarsPerKwhYear {
+    type Output = DollarsPerYear;
+    fn mul(self, rhs: KilowattHours) -> DollarsPerYear {
+        DollarsPerYear::new(self.value() * rhs.value())
+    }
+}
+
+/// `kWh × $/kWh/yr = $/yr` (commutative form).
+impl core::ops::Mul<DollarsPerKwhYear> for KilowattHours {
+    type Output = DollarsPerYear;
+    fn mul(self, rhs: DollarsPerKwhYear) -> DollarsPerYear {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn amortization_matches_paper_dg_lifetime() {
+        // A $1M generator over the paper's 12-year DG lifetime.
+        let yearly = Dollars::new(1_000_000.0).amortize(Years::new(12.0));
+        assert!((yearly.value() - 83_333.333).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "lifetime must be positive")]
+    fn zero_lifetime_rejected() {
+        let _ = Dollars::new(1.0).amortize(Years::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn rate_multiplication_commutes(rate in 0.0f64..1e4, kw in 0.0f64..1e7) {
+            let a = DollarsPerKwYear::new(rate) * Kilowatts::new(kw);
+            let b = Kilowatts::new(kw) * DollarsPerKwYear::new(rate);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn amortize_over_round_trip(capex in 0.0f64..1e9, yrs in 0.1f64..100.0) {
+            let yearly = Dollars::new(capex).amortize(Years::new(yrs));
+            let back = yearly.over(Years::new(yrs));
+            prop_assert!((back.value() - capex).abs() <= capex.abs() * 1e-12 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Electrical power quantities.
+
+use crate::energy::WattHours;
+use crate::time::Seconds;
+
+quantity! {
+    /// Electrical power in watts.
+    ///
+    /// The base power unit of the framework; server draws, UPS capacities and
+    /// DG ratings are all expressed in watts internally.
+    ///
+    /// ```
+    /// use dcb_units::{Watts, Kilowatts};
+    /// let rack = Watts::new(8_000.0);
+    /// assert_eq!(Kilowatts::from(rack).value(), 8.0);
+    /// ```
+    Watts, "W"
+}
+
+quantity! {
+    /// Electrical power in kilowatts, the unit the paper's cost model uses.
+    ///
+    /// ```
+    /// use dcb_units::Kilowatts;
+    /// let dc = Kilowatts::from_megawatts(10.0);
+    /// assert_eq!(dc.value(), 10_000.0);
+    /// ```
+    Kilowatts, "kW"
+}
+
+impl Watts {
+    /// Converts to kilowatts.
+    #[must_use]
+    pub fn to_kilowatts(self) -> Kilowatts {
+        Kilowatts::new(self.value() / 1000.0)
+    }
+
+    /// Energy delivered when drawing this power for `duration`.
+    #[must_use]
+    pub fn for_duration(self, duration: Seconds) -> WattHours {
+        WattHours::new(self.value() * duration.to_hours())
+    }
+}
+
+impl Kilowatts {
+    /// Creates a power quantity from megawatts.
+    #[must_use]
+    pub fn from_megawatts(mw: f64) -> Self {
+        Self::new(mw * 1000.0)
+    }
+
+    /// Converts to watts.
+    #[must_use]
+    pub fn to_watts(self) -> Watts {
+        Watts::new(self.value() * 1000.0)
+    }
+
+    /// Converts to megawatts.
+    #[must_use]
+    pub fn to_megawatts(self) -> f64 {
+        self.value() / 1000.0
+    }
+}
+
+impl From<Kilowatts> for Watts {
+    fn from(kw: Kilowatts) -> Self {
+        kw.to_watts()
+    }
+}
+
+impl From<Watts> for Kilowatts {
+    fn from(w: Watts) -> Self {
+        w.to_kilowatts()
+    }
+}
+
+/// Power sustained over time yields energy.
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = WattHours;
+    fn mul(self, rhs: Seconds) -> WattHours {
+        self.for_duration(rhs)
+    }
+}
+
+/// Power sustained over time yields energy (commutative form).
+impl core::ops::Mul<Watts> for Seconds {
+    type Output = WattHours;
+    fn mul(self, rhs: Watts) -> WattHours {
+        rhs.for_duration(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn watt_kilowatt_round_trip() {
+        let w = Watts::new(2_500.0);
+        assert_eq!(Watts::from(Kilowatts::from(w)), w);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(250.0) * Seconds::from_minutes(30.0);
+        assert!((e.value() - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_uses_unit_suffix() {
+        assert_eq!(format!("{:.1}", Watts::new(80.0)), "80.0 W");
+        assert_eq!(format!("{:.2}", Kilowatts::new(1.5)), "1.50 kW");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be NaN")]
+    fn nan_rejected() {
+        let _ = Watts::new(f64::NAN);
+    }
+
+    proptest! {
+        #[test]
+        fn conversion_round_trips(v in -1e9f64..1e9) {
+            let w = Watts::new(v);
+            let back = Watts::from(Kilowatts::from(w));
+            prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12 + 1e-12);
+        }
+
+        #[test]
+        fn energy_scales_linearly_with_time(p in 0.0f64..1e6, t in 0.0f64..1e6) {
+            let one = Watts::new(p) * Seconds::new(t);
+            let two = Watts::new(p) * Seconds::new(2.0 * t);
+            prop_assert!((two.value() - 2.0 * one.value()).abs() < 1e-6 * (1.0 + one.value().abs()));
+        }
+    }
+}

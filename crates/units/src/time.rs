@@ -1,0 +1,134 @@
+//! Time quantities.
+
+quantity! {
+    /// A duration (or simulation timestamp) in seconds.
+    ///
+    /// The simulator's clock is an `f64` number of seconds; sub-second
+    /// effects like the ~10 ms offline-UPS switchover and the ~30 ms power
+    /// supply ride-through are representable without a separate unit.
+    ///
+    /// ```
+    /// use dcb_units::Seconds;
+    /// let outage = Seconds::from_minutes(5.0);
+    /// assert_eq!(outage.value(), 300.0);
+    /// assert_eq!(outage.to_minutes(), 5.0);
+    /// ```
+    Seconds, "s"
+}
+
+quantity! {
+    /// A duration in minutes, the unit the paper reports outage lengths and
+    /// UPS runtimes in.
+    ///
+    /// ```
+    /// use dcb_units::{Minutes, Seconds};
+    /// assert_eq!(Seconds::from(Minutes::new(2.0)).value(), 120.0);
+    /// ```
+    Minutes, "min"
+}
+
+quantity! {
+    /// A duration in years, used for amortization and yearly outage budgets.
+    ///
+    /// ```
+    /// use dcb_units::Years;
+    /// assert_eq!(Years::new(12.0).value(), 12.0);
+    /// ```
+    Years, "yr"
+}
+
+impl Seconds {
+    /// Creates a duration from a number of minutes.
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Self::new(minutes * 60.0)
+    }
+
+    /// Creates a duration from a number of hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::new(hours * 3600.0)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms / 1000.0)
+    }
+
+    /// The duration expressed in minutes.
+    #[must_use]
+    pub fn to_minutes(self) -> f64 {
+        self.value() / 60.0
+    }
+
+    /// The duration expressed in hours.
+    #[must_use]
+    pub fn to_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+
+    /// Returns `true` for a finite duration.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.value().is_finite()
+    }
+}
+
+impl Minutes {
+    /// Converts to seconds.
+    #[must_use]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::from_minutes(self.value())
+    }
+}
+
+impl Years {
+    /// Minutes in a (non-leap) year, used by the TCO revenue-loss model.
+    pub const MINUTES_PER_YEAR: f64 = 365.0 * 24.0 * 60.0;
+
+    /// Converts to minutes.
+    #[must_use]
+    pub fn to_minutes(self) -> f64 {
+        self.value() * Self::MINUTES_PER_YEAR
+    }
+}
+
+impl From<Minutes> for Seconds {
+    fn from(m: Minutes) -> Self {
+        m.to_seconds()
+    }
+}
+
+impl From<Seconds> for Minutes {
+    fn from(s: Seconds) -> Self {
+        Minutes::new(s.to_minutes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn minute_conversions() {
+        assert_eq!(Seconds::from_minutes(2.0).value(), 120.0);
+        assert_eq!(Seconds::from_hours(1.0).to_minutes(), 60.0);
+        assert_eq!(Seconds::from_millis(10.0).value(), 0.01);
+    }
+
+    #[test]
+    fn year_minutes() {
+        assert_eq!(Years::new(1.0).to_minutes(), 525_600.0);
+    }
+
+    proptest! {
+        #[test]
+        fn seconds_minutes_round_trip(v in 0.0f64..1e9) {
+            let s = Seconds::new(v);
+            let back = Seconds::from(Minutes::from(s));
+            prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12 + 1e-9);
+        }
+    }
+}

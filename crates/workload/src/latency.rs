@@ -1,0 +1,201 @@
+//! Latency-constrained throughput (the metric of Table 7's interactive
+//! workloads).
+//!
+//! Web-search and Specjbb don't report raw throughput: they report the
+//! highest rate achievable "within a high-percentile latency constraint"
+//! (§6). Under throttling, service times inflate by the stall-aware
+//! slowdown, and queueing theory says the sustainable rate collapses
+//! *faster* than the slowdown itself — an M/M/1 effect this module makes
+//! explicit, complementing [`crate::Workload::throughput_at`]'s bare
+//! capacity view.
+
+use dcb_units::{Fraction, Seconds};
+
+/// An M/M/1 latency model: exponential service at a rate scaled by the CPU
+/// speed, a mean-response-time SLO.
+///
+/// ```
+/// use dcb_workload::LatencyModel;
+/// use dcb_units::{Fraction, Seconds};
+///
+/// // 2 ms service time against a 10 ms mean-latency SLO.
+/// let m = LatencyModel::new(Seconds::new(0.002), Seconds::new(0.010));
+/// // Full speed sustains 80% utilization within the SLO...
+/// assert!((m.max_utilization_at(Fraction::ONE) - 0.8).abs() < 1e-9);
+/// // ...and the SLO-constrained throughput collapses under halved speed.
+/// assert!(m.constrained_throughput(Fraction::new(0.5)).value() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LatencyModel {
+    service_time: Seconds,
+    slo: Seconds,
+}
+
+impl LatencyModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < service_time < slo` (otherwise even an idle
+    /// system misses the SLO).
+    #[must_use]
+    pub fn new(service_time: Seconds, slo: Seconds) -> Self {
+        assert!(
+            service_time.value() > 0.0 && slo > service_time,
+            "need 0 < service_time < slo"
+        );
+        Self { service_time, slo }
+    }
+
+    /// Web-search preset: 5 ms mean service, 25 ms mean-latency target.
+    #[must_use]
+    pub fn web_search() -> Self {
+        Self::new(Seconds::new(0.005), Seconds::new(0.025))
+    }
+
+    /// Specjbb preset: 1 ms transactions, 4 ms target.
+    #[must_use]
+    pub fn specjbb() -> Self {
+        Self::new(Seconds::new(0.001), Seconds::new(0.004))
+    }
+
+    /// Mean service time at full speed.
+    #[must_use]
+    pub fn service_time(&self) -> Seconds {
+        self.service_time
+    }
+
+    /// The mean-response-time SLO.
+    #[must_use]
+    pub fn slo(&self) -> Seconds {
+        self.slo
+    }
+
+    /// Mean M/M/1 response time at `speed` with arrival rate `load` given
+    /// as a fraction of the full-speed service rate. Infinite when the
+    /// queue is unstable.
+    #[must_use]
+    pub fn response_time(&self, speed: Fraction, load: Fraction) -> Seconds {
+        if speed.is_zero() {
+            return Seconds::new(f64::INFINITY);
+        }
+        let mu = speed.value() / self.service_time.value();
+        let lambda = load.value() / self.service_time.value();
+        if lambda >= mu {
+            Seconds::new(f64::INFINITY)
+        } else {
+            Seconds::new(1.0 / (mu - lambda))
+        }
+    }
+
+    /// Highest server utilization (`λ/μ`) that still meets the SLO at the
+    /// given speed: `ρ ≤ 1 − service_time / (speed × slo)` — at full speed
+    /// this is the familiar `1 − s/W` headroom rule.
+    #[must_use]
+    pub fn max_utilization_at(&self, speed: Fraction) -> f64 {
+        if speed.is_zero() {
+            return 0.0;
+        }
+        (1.0 - self.service_time.value() / (speed.value() * self.slo.value())).max(0.0)
+    }
+
+    /// SLO-constrained throughput at `speed`, normalized to the constrained
+    /// throughput at full speed — the quantity the paper's
+    /// "latency-constrained queries/sec" axis plots.
+    #[must_use]
+    pub fn constrained_throughput(&self, speed: Fraction) -> Fraction {
+        let at = |s: f64| -> f64 {
+            // λ_max = μ' − 1/slo, with μ' = speed / service_time.
+            (s / self.service_time.value() - 1.0 / self.slo.value()).max(0.0)
+        };
+        let full = at(1.0);
+        if full <= 0.0 {
+            return Fraction::ZERO;
+        }
+        Fraction::new(at(speed.value()) / full)
+    }
+
+    /// The speed below which *no* load meets the SLO (service alone blows
+    /// the budget): `speed < service_time / slo`.
+    #[must_use]
+    pub fn collapse_speed(&self) -> Fraction {
+        Fraction::new(self.service_time.value() / self.slo.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for m in [LatencyModel::web_search(), LatencyModel::specjbb()] {
+            assert!(m.max_utilization_at(Fraction::ONE) > 0.5);
+            assert_eq!(m.constrained_throughput(Fraction::ONE), Fraction::ONE);
+        }
+    }
+
+    #[test]
+    fn latency_constraint_is_harsher_than_capacity() {
+        // At 40% speed the SLO-constrained throughput must fall below the
+        // raw capacity scaling (queueing amplifies the slowdown).
+        let m = LatencyModel::web_search();
+        let speed = Fraction::new(0.4);
+        assert!(m.constrained_throughput(speed).value() < 0.4);
+    }
+
+    #[test]
+    fn collapse_below_service_budget() {
+        let m = LatencyModel::specjbb(); // collapse at 1/4 speed
+        assert!((m.collapse_speed().value() - 0.25).abs() < 1e-12);
+        assert_eq!(m.constrained_throughput(Fraction::new(0.2)), Fraction::ZERO);
+        assert_eq!(m.max_utilization_at(Fraction::new(0.2)), 0.0);
+    }
+
+    #[test]
+    fn response_time_unstable_queue_is_infinite() {
+        let m = LatencyModel::web_search();
+        assert!(m
+            .response_time(Fraction::new(0.5), Fraction::new(0.6))
+            .value()
+            .is_infinite());
+        assert!(m
+            .response_time(Fraction::ZERO, Fraction::new(0.1))
+            .value()
+            .is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "service_time < slo")]
+    fn impossible_slo_rejected() {
+        let _ = LatencyModel::new(Seconds::new(0.01), Seconds::new(0.005));
+    }
+
+    proptest! {
+        #[test]
+        fn constrained_throughput_monotone_in_speed(
+            s1 in 0.0f64..=1.0,
+            s2 in 0.0f64..=1.0,
+        ) {
+            let m = LatencyModel::web_search();
+            let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+            prop_assert!(
+                m.constrained_throughput(Fraction::new(hi))
+                    >= m.constrained_throughput(Fraction::new(lo))
+            );
+        }
+
+        #[test]
+        fn response_time_meets_slo_at_max_utilization(speed in 0.3f64..=1.0) {
+            let m = LatencyModel::web_search();
+            let speed = Fraction::new(speed);
+            let rho = m.max_utilization_at(speed);
+            prop_assume!(rho > 0.0);
+            // Load at the admissible boundary: λ = ρ·μ'.
+            let load = Fraction::new(rho * speed.value());
+            let w = m.response_time(speed, load);
+            prop_assert!(w <= m.slo() + Seconds::new(1e-9), "W={w} at speed {speed:?}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: price a backup configuration, simulate one outage, and
+//! print the resulting performability.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dcbackup::core::cost::CostModel;
+use dcbackup::core::evaluate::evaluate;
+use dcbackup::core::{BackupConfig, Cluster, Technique};
+use dcbackup::units::{Kilowatts, Seconds};
+use dcbackup::workload::Workload;
+
+fn main() {
+    // A rack of 16 servers running the Specjbb-like workload.
+    let rack = Cluster::rack(Workload::specjbb());
+
+    // Today's practice vs. a DG-less design with 30 minutes of battery.
+    let today = BackupConfig::max_perf();
+    let no_dg = BackupConfig::large_e_ups();
+
+    let model = CostModel::paper();
+    let dc_peak = Kilowatts::from_megawatts(10.0).to_watts();
+    println!("== Backup capital cost (10 MW datacenter) ==");
+    for config in [&today, &no_dg] {
+        let cost = model.annual_cost(config, dc_peak);
+        println!(
+            "  {:<22} ${:>10.0}/yr  (normalized {:.2})",
+            config.label(),
+            cost.total().value(),
+            model.normalized_cost(config),
+        );
+    }
+
+    println!("\n== Riding a 30-minute utility outage ==");
+    let outage = Seconds::from_minutes(30.0);
+    for config in [&today, &no_dg] {
+        let point = evaluate(&rack, config, &Technique::ride_through(), outage);
+        println!(
+            "  {:<22} perf {:>5.1}%  downtime {:>6.1} s  state {}  (cost {:.2})",
+            config.label(),
+            point.outcome.perf_during_outage.to_percent(),
+            point.outcome.downtime.expected.value(),
+            if point.outcome.state_lost { "LOST" } else { "kept" },
+            point.cost,
+        );
+    }
+
+    println!(
+        "\nThe DG-less LargeEUPS design delivers the same seamless 30-minute\n\
+         ride-through at roughly half the cost — the paper's headline insight."
+    );
+}

@@ -1,0 +1,60 @@
+//! # dcbackup
+//!
+//! A cost–performance–availability framework for **underprovisioning the
+//! backup power infrastructure of datacenters**, reproducing
+//! *Underprovisioning Backup Power Infrastructure for Datacenters*
+//! (Wang, Govindan, Sivasubramaniam, Kansal, Liu, Khessib — ASPLOS 2014).
+//!
+//! Datacenters conventionally provision diesel generators (DGs) and UPS
+//! batteries to carry the *entire* peak load through *any* utility outage.
+//! Because most outages are rare and short, much of that capital is wasted.
+//! This crate lets you:
+//!
+//! * **price** any backup configuration — DG power, UPS power, UPS battery
+//!   energy — with the paper's cap-ex model ([`core::cost`]);
+//! * **simulate** power outages against a cluster running realistic
+//!   application models, executing outage-handling techniques (throttling,
+//!   consolidation via live migration, sleep, hibernation, and hybrids)
+//!   within the provisioned capacity ([`sim`]);
+//! * **size** the cheapest backup that meets a performability target
+//!   ([`core::sizing`]), **plan** heterogeneous sections
+//!   ([`core::planner`]), run the **TCO** break-even analysis
+//!   ([`core::tco`]), and drive outages of unknown duration with the
+//!   **adaptive controller** ([`core::online`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dcbackup::core::evaluate::evaluate;
+//! use dcbackup::core::{BackupConfig, Cluster, Technique};
+//! use dcbackup::units::Seconds;
+//! use dcbackup::workload::Workload;
+//!
+//! // A rack of Specjbb servers on a DG-less, 30-minute-battery backup.
+//! let rack = Cluster::rack(Workload::specjbb());
+//! let point = evaluate(
+//!     &rack,
+//!     &BackupConfig::large_e_ups(),
+//!     &Technique::ride_through(),
+//!     Seconds::from_minutes(30.0),
+//! );
+//! assert!(point.outcome.seamless());      // full availability...
+//! assert!(point.cost < 0.6);              // ...at ~55% of today's cost.
+//! ```
+//!
+//! The sub-crates are re-exported as modules: [`units`], [`battery`],
+//! [`outage`], [`server`], [`workload`], [`migration`], [`power`], [`sim`],
+//! and [`core`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dcb_battery as battery;
+pub use dcb_core as core;
+pub use dcb_migration as migration;
+pub use dcb_outage as outage;
+pub use dcb_power as power;
+pub use dcb_server as server;
+pub use dcb_sim as sim;
+pub use dcb_units as units;
+pub use dcb_workload as workload;

@@ -1,0 +1,109 @@
+//! Integration tests: the paper's cost exhibits (Tables 1–3, Figure 2)
+//! reproduced end to end through the public facade.
+
+use dcbackup::core::cost::{CostModel, CostParams};
+use dcbackup::core::BackupConfig;
+use dcbackup::units::{Fraction, Kilowatts, Seconds};
+
+#[test]
+fn table1_parameters_are_paper_values() {
+    let p = CostParams::paper();
+    assert_eq!(p.dg_power.value(), 83.3);
+    assert_eq!(p.ups_power.value(), 50.0);
+    assert_eq!(p.ups_energy.value(), 50.0);
+    assert_eq!(p.free_runtime, Seconds::from_minutes(2.0));
+}
+
+#[test]
+fn table2_all_three_rows_to_two_decimals() {
+    let model = CostModel::paper();
+    let cases = [
+        (1.0, 2.0, 0.08, 0.05, 0.13),
+        (10.0, 2.0, 0.83, 0.51, 1.34),
+        (10.0, 42.0, 0.83, 0.83, 1.66),
+    ];
+    for (mw, minutes, dg_m, ups_m, total_m) in cases {
+        let config = BackupConfig::custom(
+            "row",
+            Fraction::ONE,
+            Fraction::ONE,
+            Seconds::from_minutes(minutes),
+        );
+        let cost = model.annual_cost(&config, Kilowatts::from_megawatts(mw).to_watts());
+        assert!(
+            (cost.dg.value() / 1e6 - dg_m).abs() < 0.01,
+            "{mw} MW / {minutes} min: DG {} vs paper {dg_m}",
+            cost.dg.value() / 1e6
+        );
+        let ups = (cost.ups_power + cost.ups_energy).value() / 1e6;
+        assert!(
+            (ups - ups_m).abs() < 0.015,
+            "{mw} MW / {minutes} min: UPS {ups} vs paper {ups_m}"
+        );
+        assert!(
+            (cost.total().value() / 1e6 - total_m).abs() < 0.015,
+            "{mw} MW / {minutes} min: total {} vs paper {total_m}",
+            cost.total().value() / 1e6
+        );
+    }
+}
+
+#[test]
+fn table3_every_normalized_cost_within_one_point() {
+    let model = CostModel::paper();
+    let paper = [
+        ("MaxPerf", 1.00),
+        ("MinCost", 0.00),
+        ("NoDG", 0.38),
+        ("NoUPS", 0.63),
+        ("DG-SmallPUPS", 0.81),
+        ("SmallDG-SmallPUPS", 0.50),
+        ("SmallPUPS", 0.19),
+        ("LargeEUPS", 0.55),
+        ("SmallP-LargeEUPS", 0.38),
+    ];
+    for (config, (label, value)) in BackupConfig::table3().iter().zip(paper) {
+        assert_eq!(config.label(), label);
+        let got = model.normalized_cost(config);
+        assert!(
+            (got - value).abs() <= 0.006,
+            "{label}: model {got:.3} vs paper {value}"
+        );
+    }
+}
+
+#[test]
+fn figure2_upfront_costs_are_consistent_with_amortized_rates() {
+    // $1.0/W over 12 years ≈ $83.3/kW/yr; $0.6/W over 12 ≈ $50/kW/yr;
+    // $0.2/Wh over 4 ≈ $50/kWh/yr.
+    assert!((1.0f64 * 1000.0 / 12.0 - 83.3).abs() < 0.1);
+    assert!((0.6f64 * 1000.0 / 12.0 - 50.0).abs() < 0.1);
+    assert!((0.2f64 * 1000.0 / 4.0 - 50.0).abs() < 0.1);
+}
+
+#[test]
+fn dg_versus_ups_crossover_sits_near_40_minutes() {
+    // §3 observation (iii) locates the DG/UPS cost crossover. Search for it.
+    let model = CostModel::paper();
+    let dg_only = model.normalized_cost(&BackupConfig::no_ups());
+    let cost_at = |minutes: f64| {
+        model.normalized_cost(&BackupConfig::custom(
+            "x",
+            Fraction::ZERO,
+            Fraction::ONE,
+            Seconds::from_minutes(minutes),
+        ))
+    };
+    let mut crossover = None;
+    for minutes in 2..240 {
+        if cost_at(f64::from(minutes)) > dg_only {
+            crossover = Some(minutes);
+            break;
+        }
+    }
+    let crossover = crossover.expect("UPS-only cost must eventually exceed DG cost");
+    assert!(
+        (35..=45).contains(&crossover),
+        "crossover at {crossover} min, paper says ~40"
+    );
+}

