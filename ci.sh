@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, and the full test suite.
+# Everything runs offline against the vendored dependency stubs (vendor/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q (tier-1)"
+cargo test -q
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI green."

@@ -15,7 +15,9 @@ use dcb_units::Years;
 /// use dcb_battery::Chemistry;
 /// assert!(Chemistry::LeadAcid.peukert_exponent() > Chemistry::LithiumIon.peukert_exponent());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum Chemistry {
     /// Valve-regulated lead-acid, the chemistry of today's rack-level UPSes
     /// (Facebook, Microsoft) and of the paper's Figure 3 chart.

@@ -124,7 +124,11 @@ impl PackSpec {
     /// composing more strings of the same cells in parallel.
     #[must_use]
     pub fn scale_power(self, factor: f64) -> Self {
-        Self::new(self.rated_power * factor, self.rated_runtime, self.chemistry)
+        Self::new(
+            self.rated_power * factor,
+            self.rated_runtime,
+            self.chemistry,
+        )
     }
 
     /// Returns a pack with additional energy modules so that its runtime at
@@ -150,7 +154,10 @@ mod tests {
         let t = reference().runtime_at(Watts::new(4000.0));
         assert!((t.to_minutes() - 10.0).abs() < 1e-9);
         let e = reference().energy_delivered_at(Watts::new(4000.0));
-        assert!((e.value() - 666.666).abs() < 1.0, "expected ~0.66 kWh, got {e}");
+        assert!(
+            (e.value() - 666.666).abs() < 1.0,
+            "expected ~0.66 kWh, got {e}"
+        );
     }
 
     #[test]
@@ -164,7 +171,10 @@ mod tests {
     #[test]
     fn zero_load_runs_forever() {
         assert!(reference().runtime_at(Watts::ZERO).value().is_infinite());
-        assert_eq!(reference().energy_delivered_at(Watts::ZERO), WattHours::ZERO);
+        assert_eq!(
+            reference().energy_delivered_at(Watts::ZERO),
+            WattHours::ZERO
+        );
     }
 
     #[test]
@@ -176,16 +186,15 @@ mod tests {
     #[test]
     fn lithium_flatter_than_lead_acid() {
         let la = reference();
-        let li = PackSpec::new(
-            la.rated_power(),
-            la.rated_runtime(),
-            Chemistry::LithiumIon,
-        );
+        let li = PackSpec::new(la.rated_power(), la.rated_runtime(), Chemistry::LithiumIon);
         // At quarter load, lead-acid gains relatively more runtime.
         let quarter = Watts::new(1000.0);
         assert!(la.runtime_at(quarter) > li.runtime_at(quarter));
         // At rated load they agree by construction.
-        assert_eq!(la.runtime_at(Watts::new(4000.0)), li.runtime_at(Watts::new(4000.0)));
+        assert_eq!(
+            la.runtime_at(Watts::new(4000.0)),
+            li.runtime_at(Watts::new(4000.0))
+        );
     }
 
     #[test]

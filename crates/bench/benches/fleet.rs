@@ -1,0 +1,110 @@
+//! Fleet benchmarks: serial vs. parallel execution of the Figure-5 sweep
+//! and a 10 000-trace Monte-Carlo batch, plus the warm-cache cost of a
+//! memoized sweep. Run with `cargo bench -p dcb-bench --bench fleet`;
+//! `DCB_THREADS` pins the parallel pool's width.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcb_core::evaluate::{evaluate, paper_durations};
+use dcb_core::{BackupConfig, Cluster, Technique};
+use dcb_fleet::{FleetPool, Scenario};
+use dcb_outage::OutageSampler;
+use dcb_workload::Workload;
+use std::hint::black_box;
+
+/// The Figure-5 grid: six highlighted configurations × five durations ×
+/// the full technique catalog.
+fn fig5_grid() -> Vec<Scenario> {
+    let cluster = Cluster::rack(Workload::specjbb());
+    let configs = [
+        BackupConfig::max_perf(),
+        BackupConfig::dg_small_pups(),
+        BackupConfig::large_e_ups(),
+        BackupConfig::no_dg(),
+        BackupConfig::small_p_large_e_ups(),
+        BackupConfig::min_cost(),
+    ];
+    let mut scenarios = Vec::new();
+    for config in &configs {
+        for &duration in &paper_durations() {
+            for technique in Technique::catalog() {
+                scenarios.push(Scenario::new(&cluster, config, &technique, duration));
+            }
+        }
+    }
+    scenarios
+}
+
+fn eval(s: &Scenario) -> f64 {
+    evaluate(&s.cluster, &s.config, &s.technique, s.duration).lost_service()
+}
+
+fn sweep_benches(c: &mut Criterion) {
+    let scenarios = fig5_grid();
+    let mut group = c.benchmark_group("fig5_sweep");
+    group.sample_size(10);
+    // Cold cache both times: evaluation goes straight to the simulator.
+    group.bench_function("serial_1_thread", |b| {
+        let pool = FleetPool::with_threads(1);
+        b.iter(|| black_box(pool.run_all(&scenarios, eval)));
+    });
+    group.bench_function("parallel_all_cores", |b| {
+        let pool = FleetPool::new();
+        b.iter(|| black_box(pool.run_all(&scenarios, eval)));
+    });
+    // Warm cache: the shared memoization layer answers every point.
+    group.bench_function("warm_cache", |b| {
+        dcb_core::fleet::clear_cache();
+        let _ = dcb_core::fleet::run_all(&scenarios);
+        b.iter(|| black_box(dcb_core::fleet::run_all(&scenarios)));
+    });
+    group.finish();
+}
+
+fn monte_carlo_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo_10k_traces");
+    group.sample_size(10);
+    let summarize = |t: dcb_fleet::Trial| {
+        let trace = OutageSampler::seeded(t.seed).sample_year();
+        (trace.len(), trace.total_outage_time().value())
+    };
+    group.bench_function("serial_1_thread", |b| {
+        let pool = FleetPool::with_threads(1);
+        b.iter(|| black_box(pool.monte_carlo(2014, 10_000, 0, summarize)));
+    });
+    group.bench_function("parallel_all_cores", |b| {
+        let pool = FleetPool::new();
+        b.iter(|| black_box(pool.monte_carlo(2014, 10_000, 0, summarize)));
+    });
+    group.finish();
+}
+
+fn availability_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("availability_frontier");
+    group.sample_size(10);
+    let cluster = Cluster::rack(Workload::specjbb());
+    let candidates = vec![
+        (BackupConfig::min_cost(), Technique::crash()),
+        (BackupConfig::small_pups(), Technique::sleep_l()),
+        (BackupConfig::large_e_ups(), Technique::ride_through()),
+        (BackupConfig::max_perf(), Technique::ride_through()),
+    ];
+    group.bench_function("frontier_25_years", |b| {
+        b.iter(|| {
+            black_box(dcb_core::availability::frontier(
+                &cluster,
+                &candidates,
+                25,
+                5,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    sweep_benches,
+    monte_carlo_benches,
+    availability_benches
+);
+criterion_main!(benches);

@@ -76,8 +76,7 @@ fn model_benches(c: &mut Criterion) {
         });
     });
     c.bench_function("outage/predictor_queries", |b| {
-        let predictor =
-            DurationPredictor::from_distribution(&DurationDistribution::us_business());
+        let predictor = DurationPredictor::from_distribution(&DurationDistribution::us_business());
         b.iter(|| {
             let mut acc = 0.0;
             for minutes in 1..60 {

@@ -36,7 +36,11 @@ pub fn chemistry() -> String {
             .value(),
         CostParams::paper().ups_energy.value()
     );
-    let _ = writeln!(out, "  {:<20} {:>10} {:>8}", "configuration", "lead-acid", "Li-ion");
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>10} {:>8}",
+        "configuration", "lead-acid", "Li-ion"
+    );
     for config in BackupConfig::table3() {
         let lead = model.normalized_cost(&config);
         let li = model.normalized_cost(&config.clone().with_chemistry(Chemistry::LithiumIon));
@@ -49,7 +53,10 @@ pub fn chemistry() -> String {
     let duration = Seconds::from_minutes(60.0);
     let targets = SizingTargets::execute_to_plan();
     let _ = writeln!(out, "  sized cost for a 60-min outage (Specjbb):");
-    for technique in [Technique::throttle_deepest(), Technique::proactive_hibernate()] {
+    for technique in [
+        Technique::throttle_deepest(),
+        Technique::proactive_hibernate(),
+    ] {
         let point = min_cost_ups(&cluster, &technique, duration, &targets);
         match point {
             Some(p) => {
@@ -84,7 +91,11 @@ pub fn free_runtime() -> String {
         out,
         "  normalized cost of a full-power UPS at various runtimes, per base capacity"
     );
-    let _ = writeln!(out, "  {:>9} | {:>7} {:>7} {:>7}", "runtime", "1 min", "2 min", "4 min");
+    let _ = writeln!(
+        out,
+        "  {:>9} | {:>7} {:>7} {:>7}",
+        "runtime", "1 min", "2 min", "4 min"
+    );
     for runtime_min in [2.0, 10.0, 30.0, 60.0] {
         let mut row = format!("  {runtime_min:>7.0} m |");
         for free_min in [1.0, 2.0, 4.0] {
@@ -112,7 +123,10 @@ pub fn free_runtime() -> String {
 #[must_use]
 pub fn consolidation() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation — consolidation ratio (Migration, Specjbb, LargeEUPS)");
+    let _ = writeln!(
+        out,
+        "Ablation — consolidation ratio (Migration, Specjbb, LargeEUPS)"
+    );
     let _ = writeln!(
         out,
         "  {:>6} | {:>7} {:>11} {:>12}",
@@ -162,7 +176,12 @@ pub fn enhancements() -> String {
     for minutes in [0.5, 30.0, 120.0] {
         let duration = Seconds::from_minutes(minutes);
         let rows = [
-            evaluate(&cluster, &BackupConfig::small_pups(), &Technique::sleep_l(), duration),
+            evaluate(
+                &cluster,
+                &BackupConfig::small_pups(),
+                &Technique::sleep_l(),
+                duration,
+            ),
             evaluate_with_nvdimm(
                 &cluster,
                 &BackupConfig::min_cost(),
@@ -177,7 +196,12 @@ pub fn enhancements() -> String {
                 duration,
                 &pricing,
             ),
-            evaluate(&cluster, &BackupConfig::no_dg(), &Technique::rdma_sleep(), duration),
+            evaluate(
+                &cluster,
+                &BackupConfig::no_dg(),
+                &Technique::rdma_sleep(),
+                duration,
+            ),
         ];
         for p in rows {
             let _ = writeln!(
@@ -262,7 +286,10 @@ pub fn geo() -> String {
 pub fn placement() -> String {
     use dcb_power::UpsPlacement;
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation — UPS placement (§3, tech-report server-level variant)");
+    let _ = writeln!(
+        out,
+        "Ablation — UPS placement (§3, tech-report server-level variant)"
+    );
     let _ = writeln!(
         out,
         "  {:<14} {:>8} {:>8} {:>9} {:>10} | {:>7} {:>9}",
@@ -358,7 +385,10 @@ pub fn tier() -> String {
     use dcb_units::Watts;
 
     let mut out = String::new();
-    let _ = writeln!(out, "Tier analysis — delivery redundancy × backup configuration");
+    let _ = writeln!(
+        out,
+        "Tier analysis — delivery redundancy × backup configuration"
+    );
     let _ = writeln!(
         out,
         "  {:<12} {:<12} {:>9} {:>12} {:>9} | {:>13} {:>7}",
@@ -381,7 +411,8 @@ pub fn tier() -> String {
                 config.label(),
                 tier_name,
                 tree.path_availability() * 100.0,
-                tree.redundancy_cost() / PowerNode::figure2(4, 4, Watts::new(4000.0), Redundancy::N).redundancy_cost(),
+                tree.redundancy_cost()
+                    / PowerNode::figure2(4, 4, Watts::new(4000.0), Redundancy::N).redundancy_cost(),
                 report.mean_yearly_downtime.to_minutes(),
                 fits,
             );
@@ -402,7 +433,11 @@ pub fn oltp() -> String {
     let mut out = crate::figures::technique_figure_for(
         Workload::oltp_database(),
         "Extension workload — write-heavy OLTP database (48 GB, hot buffer pool)",
-        &[Seconds::new(30.0), Seconds::from_minutes(30.0), Seconds::from_minutes(120.0)],
+        &[
+            Seconds::new(30.0),
+            Seconds::from_minutes(30.0),
+            Seconds::from_minutes(120.0),
+        ],
     );
     let _ = writeln!(
         out,
@@ -419,8 +454,8 @@ pub fn dual_use() -> String {
     use dcb_core::capping::PeakShaving;
     use dcb_workload::LoadProfile;
 
-    let workload = Workload::web_search()
-        .with_load_profile(LoadProfile::typical_diurnal(Fraction::new(0.9)));
+    let workload =
+        Workload::web_search().with_load_profile(LoadProfile::typical_diurnal(Fraction::new(0.9)));
     let cluster = Cluster::rack(workload);
     let outage = Seconds::from_minutes(5.0);
     let mut out = String::new();
@@ -521,7 +556,10 @@ mod tests {
     fn enhancements_keep_state() {
         let s = enhancements();
         assert!(s.contains("NVDIMM"), "{s}");
-        assert!(!s.contains("30.0 m |   0.00"), "NVDIMM must carry its premium: {s}");
+        assert!(
+            !s.contains("30.0 m |   0.00"),
+            "NVDIMM must carry its premium: {s}"
+        );
     }
 
     #[test]

@@ -19,8 +19,14 @@ fn main() -> std::io::Result<()> {
         .into();
     fs::create_dir_all(&dir)?;
     for workload in csv::WORKLOADS {
-        fs::write(dir.join(format!("fig5_{workload}.csv")), csv::fig5_csv(workload))?;
-        fs::write(dir.join(format!("fig6_{workload}.csv")), csv::fig6_csv(workload))?;
+        fs::write(
+            dir.join(format!("fig5_{workload}.csv")),
+            csv::fig5_csv(workload),
+        )?;
+        fs::write(
+            dir.join(format!("fig6_{workload}.csv")),
+            csv::fig6_csv(workload),
+        )?;
         println!("wrote fig5/fig6 CSVs for {workload}");
     }
     fs::write(dir.join("fig10.csv"), csv::fig10_csv())?;

@@ -127,7 +127,11 @@ pub fn fig10_csv() -> String {
     let tco = TcoModel::google_2011();
     let mut out = String::from("outage_minutes_per_year,loss_per_kw_year,dg_cost_per_kw_year\n");
     for (minutes, loss) in tco.curve(500.0, 51) {
-        let _ = writeln!(out, "{minutes:.1},{loss:.3},{:.1}", tco.dg_savings_per_kw_year());
+        let _ = writeln!(
+            out,
+            "{minutes:.1},{loss:.3},{:.1}",
+            tco.dg_savings_per_kw_year()
+        );
     }
     out
 }

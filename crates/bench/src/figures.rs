@@ -2,7 +2,7 @@
 
 use crate::bar;
 use dcb_battery::{runtime_chart, PackSpec};
-use dcb_core::evaluate::{best_technique, paper_durations};
+use dcb_core::evaluate::{paper_durations, sweep_configs};
 use dcb_core::sizing::{technique_tradeoffs, SizingTargets};
 use dcb_core::tco::TcoModel;
 use dcb_core::{BackupConfig, Cluster, Technique};
@@ -16,7 +16,10 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn fig1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 1 — Power Outages Distribution for U.S. Business");
+    let _ = writeln!(
+        out,
+        "Figure 1 — Power Outages Distribution for U.S. Business"
+    );
     let _ = writeln!(out, "(a) outage frequency per year");
     let freq = FrequencyDistribution::us_business();
     for (lo, hi, p) in freq.rows() {
@@ -25,7 +28,12 @@ pub fn fig1() -> String {
             (7, _) => "7+".to_owned(),
             _ => format!("{lo} to {hi}"),
         };
-        let _ = writeln!(out, "  {label:<8} {:>4.0}%  {}", p * 100.0, bar(*p, 0.5, 30));
+        let _ = writeln!(
+            out,
+            "  {label:<8} {:>4.0}%  {}",
+            p * 100.0,
+            bar(*p, 0.5, 30)
+        );
     }
     let _ = writeln!(out, "(b) outage duration");
     let dur = DurationDistribution::us_business();
@@ -50,11 +58,23 @@ pub fn fig1() -> String {
 #[must_use]
 pub fn fig2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 2 — Datacenter Power Infrastructure (cost annotations)");
+    let _ = writeln!(
+        out,
+        "Figure 2 — Datacenter Power Infrastructure (cost annotations)"
+    );
     let _ = writeln!(out, "  utility → ATS → PDU → racks");
-    let _ = writeln!(out, "  Diesel Generator : $1.0/W up-front  (≈ $83.3/kW/yr over 12 yr)");
-    let _ = writeln!(out, "  UPS electronics  : $0.6/W up-front  (≈ $50/kW/yr over 12 yr)");
-    let _ = writeln!(out, "  UPS battery      : $0.2/Wh up-front (≈ $50/kWh/yr over 4 yr)");
+    let _ = writeln!(
+        out,
+        "  Diesel Generator : $1.0/W up-front  (≈ $83.3/kW/yr over 12 yr)"
+    );
+    let _ = writeln!(
+        out,
+        "  UPS electronics  : $0.6/W up-front  (≈ $50/kW/yr over 12 yr)"
+    );
+    let _ = writeln!(
+        out,
+        "  UPS battery      : $0.2/Wh up-front (≈ $50/kWh/yr over 4 yr)"
+    );
     let _ = writeln!(
         out,
         "  offline UPS switchover ~10 ms, PSU ride-through ~30 ms, DG start ~25 s,"
@@ -68,8 +88,15 @@ pub fn fig2() -> String {
 #[must_use]
 pub fn fig3() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 3 — Runtime for a battery with max. power of 4 kW");
-    let _ = writeln!(out, "  {:>6} {:>9} {:>9}  runtime bar", "load", "runtime", "energy");
+    let _ = writeln!(
+        out,
+        "Figure 3 — Runtime for a battery with max. power of 4 kW"
+    );
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>9} {:>9}  runtime bar",
+        "load", "runtime", "energy"
+    );
     let chart = runtime_chart(PackSpec::figure3_reference(), 8);
     for point in &chart {
         let _ = writeln!(
@@ -106,20 +133,21 @@ fn fig5_like(workload: Workload, title: &str, durations: &[Seconds]) -> String {
         "  {:<18} {:>5} | {:>8} {:>7} {:>10}  best technique",
         "config", "cost", "outage", "perf", "downtime"
     );
-    for config in &configs {
-        for &duration in durations {
-            let p = best_technique(&cluster, config, duration, &catalog);
-            let _ = writeln!(
-                out,
-                "  {:<18} {:>5.2} | {:>6.1} m {:>6.0}% {:>8.1} m  {}",
-                config.label(),
-                p.cost,
-                duration.to_minutes(),
-                p.outcome.perf_during_outage.to_percent(),
-                p.outcome.downtime.expected.to_minutes(),
-                p.technique
-            );
-        }
+    // One flattened batch: the whole config × duration × technique grid
+    // fans out over the shared fleet pool (rows return in grid order).
+    let rows = sweep_configs(&cluster, &configs, durations, &catalog);
+    for (row, p) in rows.iter().enumerate() {
+        let duration = durations[row % durations.len()];
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>5.2} | {:>6.1} m {:>6.0}% {:>8.1} m  {}",
+            p.config,
+            p.cost,
+            duration.to_minutes(),
+            p.outcome.perf_during_outage.to_percent(),
+            p.outcome.downtime.expected.to_minutes(),
+            p.technique
+        );
     }
     out
 }
@@ -157,9 +185,12 @@ fn technique_figure(workload: Workload, title: &str, durations: &[Seconds]) -> S
         } else {
             SizingTargets::execute_to_plan()
         };
-        for (technique, duration, point) in
-            technique_tradeoffs(&cluster, std::slice::from_ref(technique), durations, &targets)
-        {
+        for (technique, duration, point) in technique_tradeoffs(
+            &cluster,
+            std::slice::from_ref(technique),
+            durations,
+            &targets,
+        ) {
             match point {
                 Some(p) => {
                     let o = &p.performability.outcome;
@@ -267,7 +298,11 @@ pub fn fig10() -> String {
         "  loss rate: ${:.3}/kW/min revenue + ${:.4}/kW/min depreciation",
         tco.revenue_per_kw_min, tco.depreciation_per_kw_min
     );
-    let _ = writeln!(out, "  DG cost line: ${:.1}/kW/yr", tco.dg_savings_per_kw_year());
+    let _ = writeln!(
+        out,
+        "  DG cost line: ${:.1}/kW/yr",
+        tco.dg_savings_per_kw_year()
+    );
     let _ = writeln!(out, "  {:>10} {:>14}  ", "min/yr", "loss $/kW/yr");
     for (minutes, loss) in tco.curve(500.0, 11) {
         let marker = if loss < tco.dg_savings_per_kw_year() {
@@ -356,6 +391,9 @@ mod tests {
     #[test]
     fn fig10_crossover_near_five_hours() {
         let s = fig10();
-        assert!(s.contains("4.9 h") || s.contains("5.0 h") || s.contains("5.1 h"), "{s}");
+        assert!(
+            s.contains("4.9 h") || s.contains("5.0 h") || s.contains("5.1 h"),
+            "{s}"
+        );
     }
 }

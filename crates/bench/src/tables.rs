@@ -17,8 +17,16 @@ pub fn table1() -> String {
     let _ = writeln!(out, "Table 1 — DG and UPS cost estimation parameters");
     let _ = writeln!(out, "  DGPowerCost    ${:.1}/kW/year", p.dg_power.value());
     let _ = writeln!(out, "  UPSPowerCost   ${:.0}/kW/year", p.ups_power.value());
-    let _ = writeln!(out, "  UPSEnergyCost  ${:.0}/kWh/year", p.ups_energy.value());
-    let _ = writeln!(out, "  FreeRunTime    {:.0} min", p.free_runtime.to_minutes());
+    let _ = writeln!(
+        out,
+        "  UPSEnergyCost  ${:.0}/kWh/year",
+        p.ups_energy.value()
+    );
+    let _ = writeln!(
+        out,
+        "  FreeRunTime    {:.0} min",
+        p.free_runtime.to_minutes()
+    );
     let _ = writeln!(
         out,
         "  (depreciation: DG & UPS electronics 12 yr, lead-acid batteries 4 yr)"
@@ -36,7 +44,10 @@ pub fn table2() -> String {
         (10.0, Seconds::from_minutes(42.0)),
     ];
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2 — Estimated amortized annual cost of backup infrastructure");
+    let _ = writeln!(
+        out,
+        "Table 2 — Estimated amortized annual cost of backup infrastructure"
+    );
     let _ = writeln!(
         out,
         "  {:>9} {:>9} {:>11} {:>11} {:>11}",
@@ -55,7 +66,10 @@ pub fn table2() -> String {
             cost.total().value() / 1e6,
         );
     }
-    let _ = writeln!(out, "  (paper: 0.08/0.05/0.13, 0.83/0.51/1.34, 0.83/0.83/1.66)");
+    let _ = writeln!(
+        out,
+        "  (paper: 0.08/0.05/0.13, 0.83/0.51/1.34, 0.83/0.83/1.66)"
+    );
     out
 }
 
@@ -91,17 +105,84 @@ pub fn table3() -> String {
 #[must_use]
 pub fn table4() -> String {
     let rows: [(&str, [&str; 4]); 8] = [
-        ("MaxPerf", ["full service", "full service", "full service", "full service"]),
-        ("MinCost", ["full service", "server/app crash", "no service", "server/app restart"]),
-        ("Throttling", ["full service", "throttled perf.", "throttled perf.", "restore full service"]),
-        ("Migration", ["full service", "migrate to remote memory", "consolidated service", "migrate back"]),
-        ("Proactive Migration", ["periodic dirty-state flush", "migrate remaining dirty state", "consolidated service", "migrate back to full service"]),
-        ("Sleep", ["full service", "suspend to local memory", "no service", "resume from memory"]),
-        ("Hibernation", ["full service", "persist to local storage", "no service", "resume from disk"]),
-        ("Proactive Hibernation", ["periodic dirty-state flush", "persist remaining dirty state", "no service", "resume from disk"]),
+        (
+            "MaxPerf",
+            [
+                "full service",
+                "full service",
+                "full service",
+                "full service",
+            ],
+        ),
+        (
+            "MinCost",
+            [
+                "full service",
+                "server/app crash",
+                "no service",
+                "server/app restart",
+            ],
+        ),
+        (
+            "Throttling",
+            [
+                "full service",
+                "throttled perf.",
+                "throttled perf.",
+                "restore full service",
+            ],
+        ),
+        (
+            "Migration",
+            [
+                "full service",
+                "migrate to remote memory",
+                "consolidated service",
+                "migrate back",
+            ],
+        ),
+        (
+            "Proactive Migration",
+            [
+                "periodic dirty-state flush",
+                "migrate remaining dirty state",
+                "consolidated service",
+                "migrate back to full service",
+            ],
+        ),
+        (
+            "Sleep",
+            [
+                "full service",
+                "suspend to local memory",
+                "no service",
+                "resume from memory",
+            ],
+        ),
+        (
+            "Hibernation",
+            [
+                "full service",
+                "persist to local storage",
+                "no service",
+                "resume from disk",
+            ],
+        ),
+        (
+            "Proactive Hibernation",
+            [
+                "periodic dirty-state flush",
+                "persist remaining dirty state",
+                "no service",
+                "resume from disk",
+            ],
+        ),
     ];
     let mut out = String::new();
-    let _ = writeln!(out, "Table 4 — Performance and availability implications per phase");
+    let _ = writeln!(
+        out,
+        "Table 4 — Performance and availability implications per phase"
+    );
     let _ = writeln!(
         out,
         "  {:<22} {:<26} {:<28} {:<22} after restore",
@@ -161,13 +242,25 @@ pub fn table5() -> String {
 #[must_use]
 pub fn table6() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 6 — Hybrid sustain-execution + save-state techniques");
+    let _ = writeln!(
+        out,
+        "Table 6 — Hybrid sustain-execution + save-state techniques"
+    );
     let hybrids = [
         ("Sleep-L", "throttle while going to sleep"),
         ("Hibernate-L", "throttle while going to hibernate"),
-        ("Throttle+Sleep-L", "throttle, then throttle while going to sleep"),
-        ("Throttle+Hibernate", "throttle, then throttle while going to hibernate"),
-        ("Migration+Sleep-L", "migrate, then throttle while going to sleep"),
+        (
+            "Throttle+Sleep-L",
+            "throttle, then throttle while going to sleep",
+        ),
+        (
+            "Throttle+Hibernate",
+            "throttle, then throttle while going to hibernate",
+        ),
+        (
+            "Migration+Sleep-L",
+            "migrate, then throttle while going to sleep",
+        ),
     ];
     for (name, behaviour) in hybrids {
         let _ = writeln!(out, "  {name:<20} {behaviour}");
@@ -192,7 +285,11 @@ pub fn table7() -> String {
     ];
     let mut out = String::new();
     let _ = writeln!(out, "Table 7 — Workloads");
-    let _ = writeln!(out, "  {:<18} {:>8}  performance metric", "workload", "memory");
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>8}  performance metric",
+        "workload", "memory"
+    );
     for (w, metric) in Workload::paper_suite().iter().zip(metrics) {
         let _ = writeln!(
             out,
@@ -219,8 +316,8 @@ pub fn table8() -> String {
     };
     let low_speed = low.effective_speed();
     let low_power = spec.active_power(low, jbb.utilization()) / spec.peak_power();
-    let full_power = spec.active_power(dcb_server::ThrottleLevel::NONE, jbb.utilization())
-        / spec.peak_power();
+    let full_power =
+        spec.active_power(dcb_server::ThrottleLevel::NONE, jbb.utilization()) / spec.peak_power();
     let image = jbb.effective_hibernate_image();
     let residual = jbb.dirty_profile().proactive_hibernate_residual;
     let rows = [
@@ -261,7 +358,10 @@ pub fn table8() -> String {
         ),
     ];
     let mut out = String::new();
-    let _ = writeln!(out, "Table 8 — Save/resume of Specjbb state (model vs paper)");
+    let _ = writeln!(
+        out,
+        "Table 8 — Save/resume of Specjbb state (model vs paper)"
+    );
     let _ = writeln!(
         out,
         "  {:<20} {:>9} {:>9} {:>6} | {:>7} {:>8} {:>6}",
@@ -366,6 +466,9 @@ mod tests {
     #[test]
     fn sensitivity_has_rows_for_each_size() {
         let s = state_size_sensitivity();
-        assert!(s.contains("6 GB") && s.contains("12 GB") && s.contains("18 GB"), "{s}");
+        assert!(
+            s.contains("6 GB") && s.contains("12 GB") && s.contains("18 GB"),
+            "{s}"
+        );
     }
 }

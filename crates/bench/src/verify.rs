@@ -228,7 +228,10 @@ pub fn verify_all() -> Vec<(&'static str, Check)> {
             "claim2 UPS matches MaxPerf to 100 min",
             claim2_ups_matches_maxperf_to_100_minutes(),
         ),
-        ("claim3 40% perf ↔ 40% cost", claim3_degradation_buys_savings()),
+        (
+            "claim3 40% perf ↔ 40% cost",
+            claim3_degradation_buys_savings(),
+        ),
         ("claim4 technique ordering", claim4_technique_ordering()),
         ("claim5 app divergence", claim5_application_divergence()),
         ("claim6 TCO crossover ~5 h", claim6_tco_crossover()),

@@ -9,6 +9,7 @@
 //! aggregates.
 
 use crate::cost::CostModel;
+use crate::fleet;
 use dcb_outage::OutageSampler;
 use dcb_power::BackupConfig;
 use dcb_sim::{Cluster, OutageSim, Technique};
@@ -47,6 +48,11 @@ pub struct AvailabilityReport {
 /// Runs the Monte-Carlo analysis: `years` sampled years of outages (seeded,
 /// reproducible) simulated against `config` + `technique`.
 ///
+/// Years fan out over the shared [`crate::fleet`] pool: each sampled year
+/// draws its trace from a sampler seeded purely by `(seed, year index)`
+/// ([`dcb_fleet::trial_seed`]), so the report is bit-identical for any
+/// thread count — including fully serial execution.
+///
 /// # Panics
 ///
 /// Panics if `years` is zero.
@@ -77,24 +83,32 @@ pub fn analyze(
     assert!(years > 0, "need at least one sampled year");
     let span = Seconds::from_hours(365.0 * 24.0);
     let sim = OutageSim::new(*cluster, config.clone(), technique.clone());
-    let mut sampler = OutageSampler::seeded(seed);
+    let sampled = fleet::pool().monte_carlo(seed, years, 0, |trial| {
+        let trace = OutageSampler::seeded(trial.seed).sample_year();
+        let outcome = sim.run_trace(&trace, span);
+        (
+            outcome.outcomes.len(),
+            outcome.state_losses(),
+            outcome.battery_cycles,
+            outcome.availability().value(),
+            outcome.total_downtime(),
+        )
+    });
+    // Aggregate in trial order so float sums are scheduling-independent.
     let mut yearly_downtime = Vec::with_capacity(years);
     let mut availability_sum = 0.0;
     let mut outages = 0usize;
     let mut losses = 0usize;
     let mut cycles = 0.0;
-    for _ in 0..years {
-        let trace = sampler.sample_year();
-        let outcome = sim.run_trace(&trace, span);
-        outages += outcome.outcomes.len();
-        losses += outcome.state_losses();
-        cycles += outcome.battery_cycles;
-        availability_sum += outcome.availability().value();
-        yearly_downtime.push(outcome.total_downtime());
+    for (n, lost, wear, availability, downtime) in sampled {
+        outages += n;
+        losses += lost;
+        cycles += wear;
+        availability_sum += availability;
+        yearly_downtime.push(downtime);
     }
     yearly_downtime.sort_by(|a, b| a.partial_cmp(b).expect("downtime is finite"));
-    let mean_yearly_downtime =
-        yearly_downtime.iter().copied().sum::<Seconds>() / years as f64;
+    let mean_yearly_downtime = yearly_downtime.iter().copied().sum::<Seconds>() / years as f64;
     let p95 = yearly_downtime[((years - 1) as f64 * 0.95) as usize];
     let mean_availability = Fraction::new(availability_sum / years as f64);
     let unavailability = 1.0 - mean_availability.value();
@@ -122,7 +136,9 @@ pub fn analyze(
 }
 
 /// Builds the cost–availability frontier over a set of candidate
-/// (configuration, technique) choices, sorted by cost.
+/// (configuration, technique) choices, sorted by cost. Candidates fan out
+/// over the shared [`crate::fleet`] pool (each candidate's own year loop
+/// then runs inline on its worker).
 #[must_use]
 pub fn frontier(
     cluster: &Cluster,
@@ -130,10 +146,9 @@ pub fn frontier(
     years: usize,
     seed: u64,
 ) -> Vec<AvailabilityReport> {
-    let mut reports: Vec<AvailabilityReport> = candidates
-        .iter()
-        .map(|(config, technique)| analyze(cluster, config, technique, years, seed))
-        .collect();
+    let mut reports = fleet::pool().run_all(candidates, |(config, technique)| {
+        analyze(cluster, config, technique, years, seed)
+    });
     reports.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"));
     reports
 }
@@ -202,8 +217,20 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = analyze(&cluster(), &BackupConfig::no_dg(), &Technique::sleep_l(), 10, 7);
-        let b = analyze(&cluster(), &BackupConfig::no_dg(), &Technique::sleep_l(), 10, 7);
+        let a = analyze(
+            &cluster(),
+            &BackupConfig::no_dg(),
+            &Technique::sleep_l(),
+            10,
+            7,
+        );
+        let b = analyze(
+            &cluster(),
+            &BackupConfig::no_dg(),
+            &Technique::sleep_l(),
+            10,
+            7,
+        );
         assert_eq!(a, b);
     }
 

@@ -3,7 +3,7 @@
 use dcb_battery::Chemistry;
 use dcb_power::BackupConfig;
 use dcb_units::{
-    DollarsPerKwYear, DollarsPerKwhYear, DollarsPerYear, Kilowatts, KilowattHours, Seconds, Watts,
+    DollarsPerKwYear, DollarsPerKwhYear, DollarsPerYear, KilowattHours, Kilowatts, Seconds, Watts,
 };
 
 /// The per-unit cost parameters of Table 1.
@@ -55,9 +55,8 @@ impl CostParams {
         let adjusted =
             capital_per_kwh * chemistry.relative_energy_cost() / chemistry.lifetime().value();
         self.ups_energy = DollarsPerKwhYear::new(adjusted);
-        self.ups_power = DollarsPerKwYear::new(
-            self.ups_power.value() * chemistry.relative_power_cost(),
-        );
+        self.ups_power =
+            DollarsPerKwYear::new(self.ups_power.value() * chemistry.relative_power_cost());
         self
     }
 
@@ -156,8 +155,7 @@ impl CostModel {
         let ups_power = params.ups_power * ups_capacity;
         let energy_capacity =
             KilowattHours::new(ups_capacity.value() * config.ups_runtime().to_hours());
-        let free_energy =
-            KilowattHours::new(ups_capacity.value() * params.free_runtime.to_hours());
+        let free_energy = KilowattHours::new(ups_capacity.value() * params.free_runtime.to_hours());
         let billable = (energy_capacity - free_energy).max(KilowattHours::ZERO);
         let ups_energy = params.ups_energy * billable;
 
@@ -171,15 +169,62 @@ impl CostModel {
     /// Cost of `config` relative to today's practice (`MaxPerf`) at the
     /// same peak power — the normalization of Table 3 and all the cost
     /// plots.
+    ///
+    /// Re-prices the baseline on every call; sweeps that normalize many
+    /// configurations should hoist a [`Normalizer`] out of the loop
+    /// instead (see [`Self::normalizer`]).
     #[must_use]
     pub fn normalized_cost(&self, config: &BackupConfig) -> f64 {
-        // Normalization is scale-free; use a 1 MW reference.
-        let peak = Kilowatts::from_megawatts(1.0).to_watts();
-        let baseline = self
-            .annual_cost(&BackupConfig::max_perf(), peak)
+        self.normalizer().normalized_cost(config)
+    }
+
+    /// A [`Normalizer`] with this model's `MaxPerf` baseline priced once.
+    #[must_use]
+    pub fn normalizer(&self) -> Normalizer {
+        Normalizer::new(*self)
+    }
+}
+
+/// A cost normalizer with the `MaxPerf` baseline priced once up front, for
+/// sweeps that normalize many configurations against the same model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalizer {
+    model: CostModel,
+    reference_peak: Watts,
+    baseline: f64,
+}
+
+impl Normalizer {
+    /// Prices the `MaxPerf` baseline for `model` at the scale-free 1 MW
+    /// reference peak.
+    #[must_use]
+    pub fn new(model: CostModel) -> Self {
+        let reference_peak = Kilowatts::from_megawatts(1.0).to_watts();
+        let baseline = model
+            .annual_cost(&BackupConfig::max_perf(), reference_peak)
             .total()
             .value();
-        self.annual_cost(config, peak).total().value() / baseline
+        Self {
+            model,
+            reference_peak,
+            baseline,
+        }
+    }
+
+    /// The model this normalizer prices against.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Cost of `config` relative to the precomputed `MaxPerf` baseline.
+    #[must_use]
+    pub fn normalized_cost(&self, config: &BackupConfig) -> f64 {
+        self.model
+            .annual_cost(config, self.reference_peak)
+            .total()
+            .value()
+            / self.baseline
     }
 }
 

@@ -1,10 +1,20 @@
 //! Performability evaluation: cost + performance + availability per
 //! (configuration, technique, outage) point.
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, Normalizer};
+use dcb_fleet::Scenario;
 use dcb_power::BackupConfig;
 use dcb_sim::{Cluster, OutageSim, SimOutcome, Technique};
 use dcb_units::Seconds;
+use std::sync::OnceLock;
+
+/// The paper cost model's normalizer, priced once per process: every
+/// evaluation shares the same `MaxPerf` baseline instead of re-pricing it
+/// per point.
+fn paper_normalizer() -> &'static Normalizer {
+    static NORMALIZER: OnceLock<Normalizer> = OnceLock::new();
+    NORMALIZER.get_or_init(|| CostModel::paper().normalizer())
+}
 
 /// One point in the cost-performability space: a configuration and
 /// technique evaluated against one outage duration.
@@ -33,8 +43,7 @@ impl Performability {
     #[must_use]
     pub fn lost_service(&self) -> f64 {
         let o = &self.outcome;
-        o.downtime.expected.value()
-            + (1.0 - o.perf_during_outage.value()) * o.outage.value()
+        o.downtime.expected.value() + (1.0 - o.perf_during_outage.value()) * o.outage.value()
     }
 
     /// Ranking key: state-preserving feasible runs first, then least lost
@@ -74,15 +83,28 @@ pub fn evaluate(
     Performability {
         config: config.label().to_owned(),
         technique: technique.name().to_owned(),
-        cost: CostModel::paper().normalized_cost(config),
+        cost: paper_normalizer().normalized_cost(config),
         outcome,
     }
+}
+
+/// The best-ranked point of a non-empty, order-significant slice: ties go
+/// to the earliest point, matching the serial `min_by` reference.
+fn pick_best(points: &[Performability]) -> &Performability {
+    points
+        .iter()
+        .min_by(|a, b| a.rank().partial_cmp(&b.rank()).expect("ranks are finite"))
+        .expect("technique catalog must not be empty")
 }
 
 /// Evaluates every technique in `catalog` and returns the best one for the
 /// configuration — the per-point selection behind Figure 5 ("For each
 /// backup configuration, we choose the system technique that offers the
 /// highest performance and lowest down time").
+///
+/// Candidates fan out over the shared [`crate::fleet`] pool and memoize in
+/// its cache; ties resolve to the earliest catalog entry, exactly as the
+/// serial reference would.
 ///
 /// # Panics
 ///
@@ -95,19 +117,25 @@ pub fn best_technique(
     catalog: &[Technique],
 ) -> Performability {
     assert!(!catalog.is_empty(), "technique catalog must not be empty");
-    catalog
+    let scenarios: Vec<Scenario> = catalog
         .iter()
-        .map(|t| evaluate(cluster, config, t, duration))
-        .min_by(|a, b| {
-            a.rank()
-                .partial_cmp(&b.rank())
-                .expect("ranks are finite")
-        })
-        .expect("catalog is non-empty")
+        .map(|t| Scenario::new(cluster, config, t, duration))
+        .collect();
+    pick_best(&crate::fleet::run_all(&scenarios)).clone()
 }
 
 /// A full configuration × duration sweep with best-technique selection:
 /// the data behind Figure 5 (and its per-workload variants).
+///
+/// The whole configuration × duration × technique grid is flattened into
+/// one batch for the shared [`crate::fleet`] pool — parallelism spans the
+/// full sweep, not one point at a time — then each point's best technique
+/// is selected from its contiguous chunk. Cost normalization is priced
+/// once per process (see [`Normalizer`]), not once per grid point.
+///
+/// # Panics
+///
+/// Panics if `catalog` is empty.
 #[must_use]
 pub fn sweep_configs(
     cluster: &Cluster,
@@ -115,17 +143,27 @@ pub fn sweep_configs(
     durations: &[Seconds],
     catalog: &[Technique],
 ) -> Vec<Performability> {
-    let mut rows = Vec::with_capacity(configs.len() * durations.len());
+    assert!(!catalog.is_empty(), "technique catalog must not be empty");
+    let mut scenarios = Vec::with_capacity(configs.len() * durations.len() * catalog.len());
     for config in configs {
         for &duration in durations {
-            rows.push(best_technique(cluster, config, duration, catalog));
+            for technique in catalog {
+                scenarios.push(Scenario::new(cluster, config, technique, duration));
+            }
         }
+    }
+    let evaluated = crate::fleet::run_all(&scenarios);
+    let mut rows = Vec::with_capacity(configs.len() * durations.len());
+    for point in evaluated.chunks(catalog.len()) {
+        rows.push(pick_best(point).clone());
     }
     rows
 }
 
 /// Evaluates every technique in `catalog` against one configuration — the
-/// per-technique comparison of Figures 6–9 at a fixed backup.
+/// per-technique comparison of Figures 6–9 at a fixed backup. Runs as one
+/// batch on the shared [`crate::fleet`] pool, rows in technique-major
+/// order.
 #[must_use]
 pub fn sweep_techniques(
     cluster: &Cluster,
@@ -133,13 +171,13 @@ pub fn sweep_techniques(
     durations: &[Seconds],
     catalog: &[Technique],
 ) -> Vec<Performability> {
-    let mut rows = Vec::with_capacity(catalog.len() * durations.len());
+    let mut scenarios = Vec::with_capacity(catalog.len() * durations.len());
     for technique in catalog {
         for &duration in durations {
-            rows.push(evaluate(cluster, config, technique, duration));
+            scenarios.push(Scenario::new(cluster, config, technique, duration));
         }
     }
-    rows
+    crate::fleet::run_all(&scenarios)
 }
 
 /// The outage durations the paper's Figure 5/6 panels use.

@@ -1,0 +1,117 @@
+//! Process-wide fleet execution: the shared [`FleetPool`] and the
+//! [`Performability`] memoization cache that every sweep, sizing search,
+//! planner run, and availability analysis routes through.
+//!
+//! The pool is sized once from the environment (`DCB_THREADS`, then
+//! [`std::thread::available_parallelism`]); the cache is keyed by
+//! [`Scenario::digest`], so a configuration × duration point simulated for
+//! Figure 5 is never re-simulated by the sizing search or the planner.
+//! Parallel results are bit-identical to serial evaluation — see the
+//! determinism contract in [`dcb_fleet`].
+
+use crate::evaluate::{evaluate, Performability};
+use dcb_fleet::{CacheStats, EvalCache, FleetPool, Scenario};
+use std::sync::OnceLock;
+
+/// The process-wide evaluation pool.
+pub fn pool() -> &'static FleetPool {
+    static POOL: OnceLock<FleetPool> = OnceLock::new();
+    POOL.get_or_init(FleetPool::new)
+}
+
+/// The process-wide [`Performability`] memoization cache.
+pub fn cache() -> &'static EvalCache<Performability> {
+    static CACHE: OnceLock<EvalCache<Performability>> = OnceLock::new();
+    CACHE.get_or_init(EvalCache::new)
+}
+
+/// Evaluates one scenario through the shared cache: a hit returns the
+/// memoized [`Performability`]; a miss simulates and caches it.
+#[must_use]
+pub fn evaluate_scenario(scenario: &Scenario) -> Performability {
+    cache().get_or_compute(scenario.digest(), || {
+        evaluate(
+            &scenario.cluster,
+            &scenario.config,
+            &scenario.technique,
+            scenario.duration,
+        )
+    })
+}
+
+/// Evaluates a batch of scenarios on the shared pool, preserving input
+/// ordering. Each scenario goes through the shared cache, so repeated
+/// points cost one simulation process-wide.
+///
+/// ```
+/// use dcb_core::fleet;
+/// use dcb_core::{BackupConfig, Cluster, Technique};
+/// use dcb_fleet::Scenario;
+/// use dcb_units::Seconds;
+/// use dcb_workload::Workload;
+///
+/// let cluster = Cluster::rack(Workload::specjbb());
+/// let scenarios: Vec<Scenario> = Technique::catalog()
+///     .iter()
+///     .map(|t| Scenario::new(&cluster, &BackupConfig::max_perf(), t, Seconds::new(30.0)))
+///     .collect();
+/// let results = fleet::run_all(&scenarios);
+/// assert_eq!(results.len(), scenarios.len());
+/// ```
+#[must_use]
+pub fn run_all(scenarios: &[Scenario]) -> Vec<Performability> {
+    pool().run_all(scenarios, evaluate_scenario)
+}
+
+/// Hit/miss counters of the shared cache.
+#[must_use]
+pub fn cache_stats() -> CacheStats {
+    cache().stats()
+}
+
+/// Drops every memoized evaluation and resets the counters. Benchmarks use
+/// this to measure cold-cache behaviour.
+pub fn clear_cache() {
+    cache().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_power::BackupConfig;
+    use dcb_sim::{Cluster, Technique};
+    use dcb_units::Seconds;
+    use dcb_workload::Workload;
+
+    #[test]
+    fn cached_evaluation_matches_direct() {
+        let cluster = Cluster::rack(Workload::specjbb());
+        let scenario = Scenario::new(
+            &cluster,
+            &BackupConfig::no_dg(),
+            &Technique::sleep(),
+            Seconds::from_minutes(7.0),
+        );
+        let direct = evaluate(
+            &scenario.cluster,
+            &scenario.config,
+            &scenario.technique,
+            scenario.duration,
+        );
+        assert_eq!(evaluate_scenario(&scenario), direct);
+        // Second lookup is answered from the cache and stays identical.
+        assert_eq!(evaluate_scenario(&scenario), direct);
+    }
+
+    #[test]
+    fn run_all_preserves_order() {
+        let cluster = Cluster::rack(Workload::specjbb());
+        let scenarios: Vec<Scenario> = Technique::catalog()
+            .iter()
+            .map(|t| Scenario::new(&cluster, &BackupConfig::no_dg(), t, Seconds::new(30.0)))
+            .collect();
+        let batch = run_all(&scenarios);
+        let serial: Vec<Performability> = scenarios.iter().map(evaluate_scenario).collect();
+        assert_eq!(batch, serial);
+    }
+}

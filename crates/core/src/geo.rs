@@ -101,7 +101,9 @@ pub fn evaluate_with_failover(
     let (hard_tail, remote_tail) = if remote_in_outage.value() > 0.0 {
         (Seconds::ZERO, tail)
     } else {
-        let h = tail.min(geo.redirect_after - hard_in_outage).max(Seconds::ZERO);
+        let h = tail
+            .min(geo.redirect_after - hard_in_outage)
+            .max(Seconds::ZERO);
         (h, (tail - h).max(Seconds::ZERO))
     };
 
@@ -161,7 +163,10 @@ mod tests {
             &geo,
         );
         let perf = out.perf_during_outage.value();
-        assert!(perf > 0.5 && perf <= geo.remote_perf().value() + 1e-9, "perf {perf}");
+        assert!(
+            perf > 0.5 && perf <= geo.remote_perf().value() + 1e-9,
+            "perf {perf}"
+        );
     }
 
     #[test]

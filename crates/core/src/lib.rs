@@ -26,6 +26,10 @@
 //!   with battery recharge between back-to-back outages;
 //! * [`planner`] — capacity planning for heterogeneous applications with
 //!   per-application performability targets (§7);
+//! * [`fleet`] — the process-wide parallel execution layer: every sweep,
+//!   sizing search, plan, and availability analysis routes through a shared
+//!   deterministic [`dcb_fleet::FleetPool`] and a [`dcb_fleet::EvalCache`]
+//!   memoizing evaluated scenarios, with results bit-identical to serial;
 //! * [`nvdimm`] and [`geo`] — the remaining §7 enhancements: NVDIMM
 //!   persistence priced against its DRAM premium, and geo-replication
 //!   failover backstopping long outages.
@@ -52,8 +56,9 @@
 pub mod availability;
 pub mod capping;
 pub mod cost;
-pub mod geo;
 pub mod evaluate;
+pub mod fleet;
+pub mod geo;
 pub mod nvdimm;
 pub mod online;
 pub mod planner;

@@ -121,11 +121,7 @@ mod tests {
     #[test]
     fn premium_normalization_scale_free_check() {
         // Premium normalized against a 10 MW datacenter baseline is tiny.
-        let dc = Cluster::new(
-            40_000,
-            *cluster().spec(),
-            *cluster().workload(),
-        );
+        let dc = Cluster::new(40_000, *cluster().spec(), *cluster().workload());
         let p = NvdimmCost::paper_era().normalized_premium(&dc);
         // Same ratio as the rack: premium is proportional to servers, and
         // so is the baseline.

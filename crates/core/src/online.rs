@@ -17,7 +17,7 @@
 
 use dcb_outage::DurationPredictor;
 use dcb_power::BackupConfig;
-use dcb_server::{PState, ThrottleLevel, TransitionTimes, TState};
+use dcb_server::{PState, TState, ThrottleLevel, TransitionTimes};
 use dcb_sim::Cluster;
 use dcb_units::{Fraction, Seconds, Watts};
 use dcb_workload::DowntimeRange;
@@ -113,7 +113,10 @@ impl AdaptiveController {
     /// Panics unless `0 < risk < 1`.
     #[must_use]
     pub fn with_risk(mut self, risk: f64) -> Self {
-        assert!((0.0..1.0).contains(&risk) && risk > 0.0, "risk must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&risk) && risk > 0.0,
+            "risk must be in (0,1)"
+        );
         self.risk = risk;
         self
     }
@@ -172,16 +175,14 @@ impl AdaptiveController {
                 let endurance_now = backup.endurance(serve_load(ThrottleLevel::NONE), t);
                 if !endurance_now.value().is_infinite() {
                     let deepest = Self::ladder()[2];
-                    let save_time = transitions.hibernate_save(
-                        w.effective_hibernate_image(),
-                        deepest.effective_speed(),
-                    );
+                    let save_time = transitions
+                        .hibernate_save(w.effective_hibernate_image(), deepest.effective_speed());
                     let action = self.decide(
                         &backup,
                         &transitions,
                         t,
                         dt,
-                        &serve_load,
+                        serve_load,
                         sleep_load,
                         save_time,
                     );
@@ -200,8 +201,7 @@ impl AdaptiveController {
                                 action: "enter-sleep".to_owned(),
                             });
                             mode = Mode::EnteringSleep {
-                                remaining: transitions
-                                    .sleep_enter(deepest.effective_speed()),
+                                remaining: transitions.sleep_enter(deepest.effective_speed()),
                             };
                         }
                         Action::Save => {
@@ -209,16 +209,16 @@ impl AdaptiveController {
                                 at: t,
                                 action: "enter-hibernate".to_owned(),
                             });
-                            mode = Mode::Saving { remaining: save_time };
+                            mode = Mode::Saving {
+                                remaining: save_time,
+                            };
                         }
                     }
                 }
             }
             let load = match &mode {
                 Mode::Serving(level) => serve_load(*level),
-                Mode::EnteringSleep { .. } | Mode::Saving { .. } => {
-                    serve_load(Self::ladder()[2])
-                }
+                Mode::EnteringSleep { .. } | Mode::Saving { .. } => serve_load(Self::ladder()[2]),
                 Mode::Sleeping => sleep_load,
                 Mode::Hibernated | Mode::Crashed => Watts::ZERO,
             };
@@ -269,9 +269,10 @@ impl AdaptiveController {
         let boot = spec.boot_time();
         let (tail_expected, spread) = match mode {
             Mode::Serving(_) => (Seconds::ZERO, None),
-            Mode::EnteringSleep { remaining } => {
-                (remaining.max(Seconds::ZERO) + transitions.sleep_resume(), None)
-            }
+            Mode::EnteringSleep { remaining } => (
+                remaining.max(Seconds::ZERO) + transitions.sleep_resume(),
+                None,
+            ),
             Mode::Sleeping => (transitions.sleep_resume(), None),
             Mode::Saving { remaining } => (
                 remaining.max(Seconds::ZERO)
@@ -455,7 +456,11 @@ mod tests {
     fn short_outage_served_at_high_performance() {
         let out = controller().simulate(&cluster(), &BackupConfig::no_dg(), Seconds::new(30.0));
         assert!(!out.state_lost);
-        assert!(out.perf_during_outage.value() > 0.5, "perf {:?}", out.perf_during_outage);
+        assert!(
+            out.perf_during_outage.value() > 0.5,
+            "perf {:?}",
+            out.perf_during_outage
+        );
     }
 
     #[test]
@@ -466,10 +471,11 @@ mod tests {
             Seconds::from_hours(2.0),
         );
         assert!(!out.state_lost, "decisions: {:?}", out.decisions);
-        assert!(out
-            .decisions
-            .iter()
-            .any(|d| d.action == "enter-sleep"), "never slept: {:?}", out.decisions);
+        assert!(
+            out.decisions.iter().any(|d| d.action == "enter-sleep"),
+            "never slept: {:?}",
+            out.decisions
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! provisioning today's full backup everywhere.
 
 use crate::cost::CostModel;
+use crate::fleet;
 use crate::sizing::{min_cost_ups, SizedPoint, SizingTargets};
 use dcb_power::BackupConfig;
 use dcb_sim::{Cluster, Technique};
@@ -105,7 +106,10 @@ impl Plan {
 }
 
 /// Plans one section: tries every technique in `catalog`, sizes each, and
-/// keeps the cheapest satisfying choice.
+/// keeps the cheapest satisfying choice. Candidate techniques fan out over
+/// the shared [`crate::fleet`] pool (the nested per-technique sizing
+/// searches run inline on their workers); ties resolve to the earliest
+/// catalog entry, as in the serial reference.
 #[must_use]
 pub fn plan_section(cluster: &Cluster, slo: &Slo, catalog: &[Technique]) -> PlanEntry {
     let model = CostModel::paper();
@@ -114,10 +118,15 @@ pub fn plan_section(cluster: &Cluster, slo: &Slo, catalog: &[Technique]) -> Plan
         .annual_cost(&BackupConfig::max_perf(), peak)
         .total()
         .value();
-    let mut best: Option<(f64, Technique, SizedPoint)> = None;
-    for technique in catalog {
-        if let Some(point) = min_cost_ups(cluster, technique, slo.cover_outage, &slo.targets) {
+    let sized = fleet::pool().run_all(catalog, |technique| {
+        min_cost_ups(cluster, technique, slo.cover_outage, &slo.targets).map(|point| {
             let cost = model.annual_cost(&point.config, peak).total().value();
+            (cost, point)
+        })
+    });
+    let mut best: Option<(f64, Technique, SizedPoint)> = None;
+    for (technique, candidate) in catalog.iter().zip(sized) {
+        if let Some((cost, point)) = candidate {
             if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                 best = Some((cost, technique.clone(), point));
             }
@@ -144,14 +153,14 @@ pub fn plan_section(cluster: &Cluster, slo: &Slo, catalog: &[Technique]) -> Plan
     }
 }
 
-/// Plans every section.
+/// Plans every section, fanning sections out over the shared
+/// [`crate::fleet`] pool. Entries stay in section order.
 #[must_use]
 pub fn plan(sections: &[(Cluster, Slo)], catalog: &[Technique]) -> Plan {
     Plan {
-        entries: sections
-            .iter()
-            .map(|(cluster, slo)| plan_section(cluster, slo, catalog))
-            .collect(),
+        entries: fleet::pool().run_all(sections, |(cluster, slo)| {
+            plan_section(cluster, slo, catalog)
+        }),
     }
 }
 
@@ -202,7 +211,11 @@ mod tests {
         )];
         let plan = plan(&sections, &small_catalog());
         assert!(plan.fully_satisfied());
-        assert!(plan.savings_fraction() > 0.3, "savings {}", plan.savings_fraction());
+        assert!(
+            plan.savings_fraction() > 0.3,
+            "savings {}",
+            plan.savings_fraction()
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! than the DG start-up time", §6.2).
 
 use crate::cost::CostModel;
-use crate::evaluate::{evaluate, Performability};
+use crate::evaluate::Performability;
+use crate::fleet;
+use dcb_fleet::Scenario;
 use dcb_power::BackupConfig;
 use dcb_sim::{Cluster, Technique};
 use dcb_units::{Fraction, Seconds};
@@ -95,8 +97,12 @@ fn ups_only(power: f64, runtime: Seconds) -> BackupConfig {
 ///
 /// For each candidate power fraction the minimal battery runtime is found
 /// by bisection (feasibility is monotone in energy), and the cheapest
-/// satisfying point across fractions wins. Returns `None` when no candidate
-/// satisfies the targets (the paper's "infeasible" bars).
+/// satisfying point across fractions wins. The per-fraction bisections are
+/// independent and fan out over the shared [`crate::fleet`] pool, with
+/// every probed point memoized in its cache; the winner is still chosen in
+/// fraction order (first-minimum ties), so the result is identical to the
+/// serial search. Returns `None` when no candidate satisfies the targets
+/// (the paper's "infeasible" bars).
 #[must_use]
 pub fn min_cost_ups(
     cluster: &Cluster,
@@ -104,23 +110,21 @@ pub fn min_cost_ups(
     duration: Seconds,
     targets: &SizingTargets,
 ) -> Option<SizedPoint> {
-    let model = CostModel::paper();
+    // Price the baseline once, outside the fraction loop.
+    let normalizer = CostModel::paper().normalizer();
     // Generous energy ceiling: ride the whole outage plus save overheads.
     let max_runtime = (duration * 1.5 + Seconds::from_minutes(40.0))
         .min(Seconds::from_minutes(480.0))
         .max(Seconds::from_minutes(4.0));
-    let mut best: Option<(f64, SizedPoint)> = None;
 
-    for &power in &POWER_FRACTIONS {
+    let candidates = fleet::pool().run_all(&POWER_FRACTIONS, |&power| {
         let try_runtime = |runtime: Seconds| -> Option<Performability> {
             let config = ups_only(power, runtime);
-            let p = evaluate(cluster, &config, technique, duration);
+            let p = fleet::evaluate_scenario(&Scenario::new(cluster, &config, technique, duration));
             targets.satisfied_by(&p).then_some(p)
         };
         // The ceiling must work at this power level at all.
-        if try_runtime(max_runtime).is_none() {
-            continue;
-        }
+        try_runtime(max_runtime)?;
         // Bisect the minimal runtime to 1-minute granularity.
         let mut lo = BackupConfig::FREE_RUNTIME;
         let mut hi = max_runtime;
@@ -137,17 +141,23 @@ pub fn min_cost_ups(
             }
         }
         let config = ups_only(power, hi);
-        let performability = evaluate(cluster, &config, technique, duration);
+        let performability =
+            fleet::evaluate_scenario(&Scenario::new(cluster, &config, technique, duration));
         debug_assert!(targets.satisfied_by(&performability));
-        let cost = model.normalized_cost(&config);
-        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-            best = Some((
-                cost,
-                SizedPoint {
-                    config,
-                    performability,
-                },
-            ));
+        let cost = normalizer.normalized_cost(&config);
+        Some((
+            cost,
+            SizedPoint {
+                config,
+                performability,
+            },
+        ))
+    });
+
+    let mut best: Option<(f64, SizedPoint)> = None;
+    for candidate in candidates.into_iter().flatten() {
+        if best.as_ref().is_none_or(|(c, _)| candidate.0 < *c) {
+            best = Some(candidate);
         }
     }
     best.map(|(_, point)| point)
@@ -156,6 +166,10 @@ pub fn min_cost_ups(
 /// Sizes every technique in `catalog` at every duration — the full data
 /// behind one Figure 6/7/8/9 panel. Entries are `None` where the technique
 /// cannot meet the targets at any candidate UPS size.
+///
+/// The (technique, duration) grid fans out over the shared
+/// [`crate::fleet`] pool; each cell's own sizing search then runs inline
+/// on its worker, and every simulated point memoizes in the shared cache.
 #[must_use]
 pub fn technique_tradeoffs(
     cluster: &Cluster,
@@ -163,23 +177,31 @@ pub fn technique_tradeoffs(
     durations: &[Seconds],
     targets: &SizingTargets,
 ) -> Vec<(Technique, Seconds, Option<SizedPoint>)> {
-    let mut rows = Vec::with_capacity(catalog.len() * durations.len());
+    let mut cells = Vec::with_capacity(catalog.len() * durations.len());
     for technique in catalog {
         for &duration in durations {
-            // The crash baseline needs no backup at all: report MinCost.
-            let point = if technique.name() == Technique::crash().name() {
-                let config = BackupConfig::min_cost();
-                Some(SizedPoint {
-                    performability: evaluate(cluster, &config, technique, duration),
-                    config,
-                })
-            } else {
-                min_cost_ups(cluster, technique, duration, targets)
-            };
-            rows.push((technique.clone(), duration, point));
+            cells.push((technique.clone(), duration));
         }
     }
-    rows
+    let points = fleet::pool().run_all(&cells, |(technique, duration)| {
+        // The crash baseline needs no backup at all: report MinCost.
+        if technique.name() == Technique::crash().name() {
+            let config = BackupConfig::min_cost();
+            Some(SizedPoint {
+                performability: fleet::evaluate_scenario(&Scenario::new(
+                    cluster, &config, technique, *duration,
+                )),
+                config,
+            })
+        } else {
+            min_cost_ups(cluster, technique, *duration, targets)
+        }
+    });
+    cells
+        .into_iter()
+        .zip(points)
+        .map(|((technique, duration), point)| (technique, duration, point))
+        .collect()
 }
 
 #[cfg(test)]
@@ -218,7 +240,11 @@ mod tests {
             &SizingTargets::execute_to_plan(),
         )
         .expect("throttling must be sizable for 30 min");
-        assert!(point.performability.cost < 0.45, "cost {}", point.performability.cost);
+        assert!(
+            point.performability.cost < 0.45,
+            "cost {}",
+            point.performability.cost
+        );
     }
 
     #[test]
@@ -256,7 +282,11 @@ mod tests {
             &SizingTargets::execute_to_plan(),
         )
         .expect("hybrid sizable for 2 h");
-        assert!(hybrid.performability.cost <= 0.30, "cost {}", hybrid.performability.cost);
+        assert!(
+            hybrid.performability.cost <= 0.30,
+            "cost {}",
+            hybrid.performability.cost
+        );
     }
 
     #[test]

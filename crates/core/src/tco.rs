@@ -61,12 +61,10 @@ impl TcoModel {
                 && server_power_watts > 0.0,
             "all organizational figures must be positive"
         );
-        let revenue_per_kw_min =
-            yearly_revenue_dollars / capacity_kw / Self::MINUTES_PER_YEAR;
+        let revenue_per_kw_min = yearly_revenue_dollars / capacity_kw / Self::MINUTES_PER_YEAR;
         let servers_per_kw = 1000.0 / server_power_watts;
-        let depreciation_per_kw_min = server_cost_dollars * servers_per_kw
-            / server_lifetime_years
-            / Self::MINUTES_PER_YEAR;
+        let depreciation_per_kw_min =
+            server_cost_dollars * servers_per_kw / server_lifetime_years / Self::MINUTES_PER_YEAR;
         Self {
             revenue_per_kw_min,
             depreciation_per_kw_min,
@@ -134,7 +132,11 @@ mod tests {
     fn google_revenue_rate_matches_paper() {
         // §7: "$0.28/KW/min".
         let m = TcoModel::google_2011();
-        assert!((m.revenue_per_kw_min - 0.28).abs() < 0.005, "{}", m.revenue_per_kw_min);
+        assert!(
+            (m.revenue_per_kw_min - 0.28).abs() < 0.005,
+            "{}",
+            m.revenue_per_kw_min
+        );
     }
 
     #[test]

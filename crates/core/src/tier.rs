@@ -13,7 +13,9 @@ use dcb_power::{BackupConfig, Redundancy};
 use dcb_units::Seconds;
 
 /// The Uptime-Institute Tier ladder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Tier {
     /// Basic capacity: dedicated UPS, no redundancy.
     I,
@@ -137,7 +139,10 @@ mod tests {
             Some(Tier::III),
             "no engine caps at Tier III"
         );
-        assert_eq!(Tier::classify(Redundancy::TwoN, &BackupConfig::min_cost()), None);
+        assert_eq!(
+            Tier::classify(Redundancy::TwoN, &BackupConfig::min_cost()),
+            None
+        );
         assert_eq!(Tier::classify(Redundancy::N, &BackupConfig::no_ups()), None);
     }
 

@@ -1,0 +1,72 @@
+//! End-to-end determinism: real scenario evaluation through the fleet is
+//! bit-identical to serial evaluation for every thread count, and the
+//! availability analysis is reproducible across repeated (parallel) runs.
+
+use dcb_core::availability::analyze;
+use dcb_core::evaluate::{evaluate, paper_durations, sweep_configs};
+use dcb_core::{BackupConfig, Cluster, Technique};
+use dcb_fleet::{FleetPool, Scenario};
+use dcb_workload::Workload;
+
+fn grid(cluster: &Cluster) -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for config in [
+        BackupConfig::max_perf(),
+        BackupConfig::no_dg(),
+        BackupConfig::min_cost(),
+    ] {
+        for technique in Technique::catalog() {
+            for &duration in &paper_durations()[..3] {
+                scenarios.push(Scenario::new(cluster, &config, &technique, duration));
+            }
+        }
+    }
+    scenarios
+}
+
+#[test]
+fn parallel_evaluation_is_bit_identical_to_serial() {
+    let cluster = Cluster::rack(Workload::specjbb());
+    let scenarios = grid(&cluster);
+    let eval = |s: &Scenario| evaluate(&s.cluster, &s.config, &s.technique, s.duration);
+    let reference: Vec<_> = scenarios.iter().map(eval).collect();
+    for threads in 1..=8 {
+        let got = FleetPool::with_threads(threads).run_all(&scenarios, eval);
+        assert_eq!(got, reference, "diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn sweep_configs_matches_handwritten_serial_selection() {
+    // The parallel sweep (shared pool + cache) must reproduce the naive
+    // per-point loop exactly, including first-wins tie-breaking.
+    let cluster = Cluster::rack(Workload::memcached());
+    let configs = [BackupConfig::no_dg(), BackupConfig::large_e_ups()];
+    let durations = [paper_durations()[0], paper_durations()[2]];
+    let catalog = Technique::catalog();
+    let swept = sweep_configs(&cluster, &configs, &durations, &catalog);
+    let mut serial = Vec::new();
+    for config in &configs {
+        for &duration in &durations {
+            serial.push(dcb_core::evaluate::best_technique(
+                &cluster, config, duration, &catalog,
+            ));
+        }
+    }
+    assert_eq!(swept, serial);
+}
+
+#[test]
+fn availability_reports_are_reproducible() {
+    let cluster = Cluster::rack(Workload::specjbb());
+    let run = || {
+        analyze(
+            &cluster,
+            &BackupConfig::no_dg(),
+            &Technique::sleep_l(),
+            20,
+            2014,
+        )
+    };
+    assert_eq!(run(), run());
+}

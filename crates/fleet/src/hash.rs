@@ -1,0 +1,132 @@
+//! Stable 128-bit hashing for memoization keys.
+//!
+//! [`std::hash::Hasher`] is the wrong tool here twice over: `HashMap`'s
+//! default hasher is randomized per process, and the spec types carry
+//! `f64` fields that deliberately don't implement `Hash`. This module
+//! hashes values through their *canonical `Debug` encoding* with FNV-1a
+//! (128-bit), which is deterministic across runs and covers every semantic
+//! field of a `#[derive(Debug)]` struct. 128 bits keeps the accidental
+//! collision probability negligible (≈ 2⁻⁶⁴ even for billions of keys), so
+//! digests can be used directly as cache keys.
+
+use std::fmt::{Debug, Write};
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// An incremental FNV-1a (128-bit) hasher with a stable byte encoding.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u128::from(byte);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Absorbs a string's UTF-8 bytes plus a terminator (so `("ab", "c")`
+    /// and `("a", "bc")` hash differently).
+    pub fn write_str(&mut self, value: &str) {
+        self.write_bytes(value.as_bytes());
+        self.write_bytes(&[0xFF]);
+    }
+
+    /// Absorbs an unsigned integer, little-endian.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Absorbs a float via its IEEE-754 bit pattern (so `-0.0` and `0.0`
+    /// hash differently, and `NaN` payloads are respected).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_bytes(&value.to_bits().to_le_bytes());
+    }
+
+    /// Absorbs a value's `Debug` rendering followed by a terminator.
+    ///
+    /// Derived `Debug` prints every field of a struct/enum, making this a
+    /// canonical encoding for plain-data spec types. Types with manual,
+    /// lossy `Debug` implementations should be hashed field-by-field
+    /// instead.
+    pub fn write_debug(&mut self, value: &dyn Debug) {
+        struct Absorb<'a>(&'a mut StableHasher);
+        impl Write for Absorb<'_> {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.0.write_bytes(s.as_bytes());
+                Ok(())
+            }
+        }
+        write!(Absorb(self), "{value:?}").expect("Debug formatting never fails");
+        self.write_bytes(&[0xFE]);
+    }
+
+    /// The accumulated digest.
+    #[must_use]
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Digest of a sequence of `Debug`-encodable parts.
+#[must_use]
+pub fn stable_digest(parts: &[&dyn Debug]) -> u128 {
+    let mut hasher = StableHasher::new();
+    for part in parts {
+        hasher.write_debug(*part);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_stable_across_hashers() {
+        let a = stable_digest(&[&1.5f64, &"config", &42u32]);
+        let b = stable_digest(&[&1.5f64, &"config", &42u32]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        assert_ne!(stable_digest(&[&"ab", &"c"]), stable_digest(&[&"a", &"bc"]));
+    }
+
+    #[test]
+    fn nearby_floats_differ() {
+        assert_ne!(
+            stable_digest(&[&1.0f64]),
+            stable_digest(&[&(1.0f64 + f64::EPSILON)])
+        );
+        let mut neg = StableHasher::new();
+        neg.write_f64(-0.0);
+        let mut pos = StableHasher::new();
+        pos.write_f64(0.0);
+        assert_ne!(neg.finish(), pos.finish());
+    }
+
+    #[test]
+    fn empty_input_is_offset_basis() {
+        assert_eq!(StableHasher::new().finish(), FNV128_OFFSET);
+    }
+}

@@ -1,0 +1,128 @@
+//! The canonical evaluation key: one (cluster, config, technique, duration)
+//! point.
+
+use crate::hash::StableHasher;
+use dcb_power::BackupConfig;
+use dcb_sim::{Cluster, Technique};
+use dcb_units::Seconds;
+
+/// One point in the cost-performability space, as a value: the cluster
+/// spec, backup configuration, outage-handling technique, and outage
+/// duration that together determine an evaluation.
+///
+/// Evaluation is a pure function of these four components, which is what
+/// makes memoization sound: two scenarios with equal [`Self::digest`]s
+/// simulate identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The cluster under test.
+    pub cluster: Cluster,
+    /// The backup power configuration.
+    pub config: BackupConfig,
+    /// The outage-handling technique.
+    pub technique: Technique,
+    /// The outage duration.
+    pub duration: Seconds,
+}
+
+impl Scenario {
+    /// Bundles one evaluation point.
+    #[must_use]
+    pub fn new(
+        cluster: &Cluster,
+        config: &BackupConfig,
+        technique: &Technique,
+        duration: Seconds,
+    ) -> Self {
+        Self {
+            cluster: *cluster,
+            config: config.clone(),
+            technique: technique.clone(),
+            duration,
+        }
+    }
+
+    /// The scenario's stable 128-bit digest, suitable as an
+    /// [`crate::EvalCache`] key.
+    ///
+    /// Hashes each component through its derived-`Debug` canonical encoding
+    /// (see [`StableHasher::write_debug`]): every semantic field — server
+    /// spec, workload parameters, DG/UPS fractions, battery runtime and
+    /// chemistry, technique actions — participates, and the duration is
+    /// hashed by IEEE-754 bit pattern.
+    #[must_use]
+    pub fn digest(&self) -> u128 {
+        let mut hasher = StableHasher::new();
+        hasher.write_debug(&self.cluster);
+        hasher.write_debug(&self.config);
+        hasher.write_debug(&self.technique);
+        hasher.write_f64(self.duration.value());
+        hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcb_workload::Workload;
+
+    fn base() -> Scenario {
+        Scenario::new(
+            &Cluster::rack(Workload::specjbb()),
+            &BackupConfig::no_dg(),
+            &Technique::ride_through(),
+            Seconds::from_minutes(5.0),
+        )
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        assert_eq!(base().digest(), base().digest());
+    }
+
+    #[test]
+    fn every_component_feeds_the_digest() {
+        let reference = base().digest();
+        let mut other_workload = base();
+        other_workload.cluster = Cluster::rack(Workload::memcached());
+        let mut other_config = base();
+        other_config.config = BackupConfig::max_perf();
+        let mut other_technique = base();
+        other_technique.technique = Technique::sleep();
+        let mut other_duration = base();
+        other_duration.duration = Seconds::from_minutes(5.0 + 1e-9);
+        for (what, scenario) in [
+            ("workload", other_workload),
+            ("config", other_config),
+            ("technique", other_technique),
+            ("duration", other_duration),
+        ] {
+            assert_ne!(reference, scenario.digest(), "{what} ignored by digest");
+        }
+    }
+
+    #[test]
+    fn table3_catalog_grid_has_no_collisions() {
+        let cluster = Cluster::rack(Workload::specjbb());
+        let mut digests = Vec::new();
+        for config in BackupConfig::table3() {
+            for technique in Technique::catalog() {
+                for minutes in [0.5, 5.0, 30.0, 60.0, 120.0] {
+                    digests.push(
+                        Scenario::new(
+                            &cluster,
+                            &config,
+                            &technique,
+                            Seconds::from_minutes(minutes),
+                        )
+                        .digest(),
+                    );
+                }
+            }
+        }
+        let total = digests.len();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), total, "digest collision in the paper grid");
+    }
+}

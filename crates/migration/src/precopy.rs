@@ -163,8 +163,8 @@ mod tests {
 
     #[test]
     fn clean_vm_needs_one_round() {
-        let plan = MigrationModel::xen_default()
-            .plan(Gigabytes::new(10.0), MegabytesPerSecond::ZERO);
+        let plan =
+            MigrationModel::xen_default().plan(Gigabytes::new(10.0), MegabytesPerSecond::ZERO);
         assert_eq!(plan.rounds, 1);
         assert!(plan.converged);
         assert!((plan.transferred.value() - 10.0).abs() < 1e-9);

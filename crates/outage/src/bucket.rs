@@ -99,7 +99,12 @@ impl DurationBucket {
 impl fmt::Display for DurationBucket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.hi.is_finite() {
-            write!(f, "{:.0}–{:.0} min", self.lo.to_minutes(), self.hi.to_minutes())
+            write!(
+                f,
+                "{:.0}–{:.0} min",
+                self.lo.to_minutes(),
+                self.hi.to_minutes()
+            )
         } else {
             write!(f, "> {:.0} min", self.lo.to_minutes())
         }
@@ -128,8 +133,14 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(DurationBucket::new_minutes(5.0, 30.0).to_string(), "5–30 min");
-        assert_eq!(DurationBucket::open_ended_minutes(240.0).to_string(), "> 240 min");
+        assert_eq!(
+            DurationBucket::new_minutes(5.0, 30.0).to_string(),
+            "5–30 min"
+        );
+        assert_eq!(
+            DurationBucket::open_ended_minutes(240.0).to_string(),
+            "> 240 min"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl DurationDistribution {
     /// are empty, not contiguous, or not sorted.
     #[must_use]
     pub fn new(buckets: Vec<(DurationBucket, f64)>) -> Self {
-        assert!(!buckets.is_empty(), "distribution needs at least one bucket");
+        assert!(
+            !buckets.is_empty(),
+            "distribution needs at least one bucket"
+        );
         let total: f64 = buckets.iter().map(|(_, p)| *p).sum();
         assert!(
             (total - 1.0).abs() < 1e-6,
@@ -142,10 +145,7 @@ impl DurationDistribution {
     /// Mean outage duration (open tail capped).
     #[must_use]
     pub fn mean(&self) -> Seconds {
-        self.buckets
-            .iter()
-            .map(|(b, p)| b.midpoint() * *p)
-            .sum()
+        self.buckets.iter().map(|(b, p)| b.midpoint() * *p).sum()
     }
 
     /// Samples a duration from the distribution using uniform randoms
@@ -316,7 +316,10 @@ mod tests {
     #[test]
     fn expected_remaining_zero_after_cap() {
         let d = DurationDistribution::us_business();
-        assert_eq!(d.expected_remaining(Seconds::from_hours(8.0)), Seconds::ZERO);
+        assert_eq!(
+            d.expected_remaining(Seconds::from_hours(8.0)),
+            Seconds::ZERO
+        );
     }
 
     #[test]

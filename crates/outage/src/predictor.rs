@@ -191,7 +191,9 @@ mod tests {
         let p = DurationPredictor::fit(&history);
         assert!(p.observations() > 1_000);
         // Fitted P(d <= 5 min) should approximate the generating 58%.
-        let within = p.distribution().probability_within(Seconds::from_minutes(5.0));
+        let within = p
+            .distribution()
+            .probability_within(Seconds::from_minutes(5.0));
         assert!((within - 0.58).abs() < 0.05, "got {within}");
     }
 
@@ -207,7 +209,11 @@ mod tests {
         );
         let p = DurationPredictor::fit(&[trace]);
         // Nearly all mass in the first bucket.
-        assert!(p.distribution().probability_within(Seconds::from_minutes(1.0)) > 0.9);
+        assert!(
+            p.distribution()
+                .probability_within(Seconds::from_minutes(1.0))
+                > 0.9
+        );
     }
 
     #[test]

@@ -85,10 +85,11 @@ impl OutageTrace {
     /// The longest single outage, if any.
     #[must_use]
     pub fn longest(&self) -> Option<Outage> {
-        self.outages
-            .iter()
-            .copied()
-            .max_by(|a, b| a.duration.partial_cmp(&b.duration).expect("no NaN durations"))
+        self.outages.iter().copied().max_by(|a, b| {
+            a.duration
+                .partial_cmp(&b.duration)
+                .expect("no NaN durations")
+        })
     }
 }
 

@@ -144,7 +144,10 @@ mod tests {
         let edge = Seconds::from_minutes(30.0);
         let continuous = 1.0 - w.survival(edge);
         let bucketed = d.probability_within(edge);
-        assert!((continuous - bucketed).abs() < 0.06, "{continuous} vs {bucketed}");
+        assert!(
+            (continuous - bucketed).abs() < 0.06,
+            "{continuous} vs {bucketed}"
+        );
     }
 
     #[test]

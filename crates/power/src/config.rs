@@ -94,7 +94,12 @@ impl BackupConfig {
     /// Full DG + half-power UPS. Normalized cost 0.81.
     #[must_use]
     pub fn dg_small_pups() -> Self {
-        Self::custom("DG-SmallPUPS", Fraction::ONE, Fraction::HALF, Self::FREE_RUNTIME)
+        Self::custom(
+            "DG-SmallPUPS",
+            Fraction::ONE,
+            Fraction::HALF,
+            Self::FREE_RUNTIME,
+        )
     }
 
     /// Half DG + half-power UPS. Normalized cost 0.50.
@@ -111,7 +116,12 @@ impl BackupConfig {
     /// Half-power UPS only. Normalized cost 0.19.
     #[must_use]
     pub fn small_pups() -> Self {
-        Self::custom("SmallPUPS", Fraction::ZERO, Fraction::HALF, Self::FREE_RUNTIME)
+        Self::custom(
+            "SmallPUPS",
+            Fraction::ZERO,
+            Fraction::HALF,
+            Self::FREE_RUNTIME,
+        )
     }
 
     /// Full-power UPS with 30 minutes of battery, no DG. Normalized cost

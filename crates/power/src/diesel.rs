@@ -152,20 +152,20 @@ mod tests {
 
     #[test]
     fn fuel_exhaustion_cuts_supply() {
-        let dg = DieselGenerator::new(Watts::new(1000.0))
-            .with_fuel_runtime(Seconds::from_hours(1.0));
-        assert_eq!(dg.available_power(Seconds::from_minutes(30.0)), Watts::new(1000.0));
+        let dg =
+            DieselGenerator::new(Watts::new(1000.0)).with_fuel_runtime(Seconds::from_hours(1.0));
+        assert_eq!(
+            dg.available_power(Seconds::from_minutes(30.0)),
+            Watts::new(1000.0)
+        );
         assert_eq!(dg.available_power(Seconds::from_hours(1.01)), Watts::ZERO);
     }
 
     #[test]
     #[should_panic(expected = "after the start delay")]
     fn inverted_timing_rejected() {
-        let _ = DieselGenerator::with_timing(
-            Watts::new(1.0),
-            Seconds::new(100.0),
-            Seconds::new(50.0),
-        );
+        let _ =
+            DieselGenerator::with_timing(Watts::new(1.0), Seconds::new(100.0), Seconds::new(50.0));
     }
 
     proptest! {

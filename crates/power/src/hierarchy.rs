@@ -15,7 +15,9 @@ use core::fmt;
 use dcb_units::Watts;
 
 /// Redundancy of a component (how many units beyond need are installed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum Redundancy {
     /// Exactly the capacity needed: any unit fault drops the load below.
     #[default]
@@ -162,7 +164,12 @@ impl PowerNode {
     /// `pdus` PDUs, each feeding `racks_per_pdu` racks of `rack_load`.
     /// Components are sized with 20 % headroom.
     #[must_use]
-    pub fn figure2(pdus: u32, racks_per_pdu: u32, rack_load: Watts, redundancy: Redundancy) -> Self {
+    pub fn figure2(
+        pdus: u32,
+        racks_per_pdu: u32,
+        rack_load: Watts,
+        redundancy: Redundancy,
+    ) -> Self {
         let pdu_children: Vec<PowerNode> = (0..pdus)
             .map(|p| {
                 let racks: Vec<PowerNode> = (0..racks_per_pdu)

@@ -13,7 +13,9 @@
 use dcb_units::{Fraction, Seconds};
 
 /// Where the UPS function lives in the power hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum UpsPlacement {
     /// Conventional datacenter-level double-conversion (online) UPS rooms.
     Centralized,

@@ -144,16 +144,16 @@ impl BackupSystem {
             // During the gap the UPS must carry the DG-uncovered remainder;
             // approximate with the worst case (full load on UPS).
             match &self.ups {
-                Some(ups) if ups.remaining_runtime_at(load) >= gap => {
-                    Seconds::new(f64::INFINITY)
-                }
+                Some(ups) if ups.remaining_runtime_at(load) >= gap => Seconds::new(f64::INFINITY),
                 Some(ups) => ups.remaining_runtime_at(load),
                 None => Seconds::ZERO,
             }
         } else {
-            let residual = load - self.dg.as_ref().map_or(Watts::ZERO, |d| {
-                d.available_power(elapsed.max(dg_ready))
-            });
+            let residual = load
+                - self
+                    .dg
+                    .as_ref()
+                    .map_or(Watts::ZERO, |d| d.available_power(elapsed.max(dg_ready)));
             match &self.ups {
                 Some(ups) => ups.remaining_runtime_at(residual),
                 None => Seconds::ZERO,

@@ -51,7 +51,10 @@ impl UtilityFeed {
             assert!(w.1 >= w.0, "outage window inverted");
         }
         for pair in outages.windows(2) {
-            assert!(pair[0].1 <= pair[1].0, "outage windows must be disjoint and sorted");
+            assert!(
+                pair[0].1 <= pair[1].0,
+                "outage windows must be disjoint and sorted"
+            );
         }
         Self { outages }
     }
@@ -65,7 +68,10 @@ impl UtilityFeed {
     /// The outage window containing `t`, if any.
     #[must_use]
     pub fn outage_at(&self, t: Seconds) -> Option<(Seconds, Seconds)> {
-        self.outages.iter().copied().find(|(s, e)| t >= *s && t < *e)
+        self.outages
+            .iter()
+            .copied()
+            .find(|(s, e)| t >= *s && t < *e)
     }
 }
 

@@ -156,7 +156,9 @@ impl Server {
             }
             (PowerState::Active(_), ServerCommand::Hibernate { state, level }) => {
                 self.state = PowerState::SavingToDisk(level);
-                self.timer = self.transitions().hibernate_save(state, level.effective_speed());
+                self.timer = self
+                    .transitions()
+                    .hibernate_save(state, level.effective_speed());
                 self.saved_state = state;
                 self.saved_throttled = level != ThrottleLevel::NONE;
                 Ok(())

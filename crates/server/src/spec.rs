@@ -61,7 +61,10 @@ impl ServerSpec {
     /// Panics unless `0 <= idle <= peak`.
     #[must_use]
     pub fn with_power_envelope(mut self, idle: Watts, peak: Watts) -> Self {
-        assert!(idle.value() >= 0.0 && peak >= idle, "need 0 <= idle <= peak");
+        assert!(
+            idle.value() >= 0.0 && peak >= idle,
+            "need 0 <= idle <= peak"
+        );
         self.idle_power = idle;
         self.peak_power = peak;
         self
@@ -157,7 +160,9 @@ impl ServerSpec {
             PowerState::SavingToDisk(level) => self.active_power(*level, Fraction::new(0.6)),
             PowerState::Hibernated | PowerState::Off => Watts::ZERO,
             PowerState::ResumingFromSleep => self.idle_power,
-            PowerState::ResumingFromDisk => self.active_power(ThrottleLevel::NONE, Fraction::new(0.6)),
+            PowerState::ResumingFromDisk => {
+                self.active_power(ThrottleLevel::NONE, Fraction::new(0.6))
+            }
             PowerState::Booting => self.active_power(ThrottleLevel::NONE, Fraction::new(0.7)),
         }
     }
@@ -208,7 +213,10 @@ mod tests {
         let s = ServerSpec::paper_testbed();
         assert!(s.power_draw(&PowerState::Sleeping, Fraction::ONE).value() <= 6.0);
         assert_eq!(s.power_draw(&PowerState::Off, Fraction::ONE), Watts::ZERO);
-        assert_eq!(s.power_draw(&PowerState::Hibernated, Fraction::ONE), Watts::ZERO);
+        assert_eq!(
+            s.power_draw(&PowerState::Hibernated, Fraction::ONE),
+            Watts::ZERO
+        );
     }
 
     #[test]
@@ -241,8 +249,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "idle <= peak")]
     fn inverted_envelope_rejected() {
-        let _ = ServerSpec::paper_testbed()
-            .with_power_envelope(Watts::new(300.0), Watts::new(100.0));
+        let _ =
+            ServerSpec::paper_testbed().with_power_envelope(Watts::new(300.0), Watts::new(100.0));
     }
 
     proptest! {

@@ -1,6 +1,6 @@
 //! The time-stepped outage simulation engine.
 
-use crate::{Cluster, FinalState, InitialAction, Fallback, SimOutcome, Technique};
+use crate::{Cluster, Fallback, FinalState, InitialAction, SimOutcome, Technique};
 use dcb_migration::{ConsolidationPlan, MigrationModel};
 use dcb_power::{BackupConfig, BackupSystem, Ups};
 use dcb_server::{ThrottleLevel, TransitionTimes};
@@ -437,10 +437,9 @@ impl OutageSim {
                 let sustained = supply.sustained;
                 match &mode {
                     Mode::Serving { level, share } => {
-                        serving_integral += w
-                            .throughput_at(level.effective_speed(), *share)
-                            .value()
-                            * sustained.value();
+                        serving_integral +=
+                            w.throughput_at(level.effective_speed(), *share).value()
+                                * sustained.value();
                         downtime += dt - sustained;
                     }
                     Mode::Migrating { during, .. } => {
@@ -487,10 +486,8 @@ impl OutageSim {
             // Power fully supplied: progress the mode.
             match &mut mode {
                 Mode::Serving { level, share } => {
-                    serving_integral += w
-                        .throughput_at(level.effective_speed(), *share)
-                        .value()
-                        * dt.value();
+                    serving_integral +=
+                        w.throughput_at(level.effective_speed(), *share).value() * dt.value();
                 }
                 Mode::Migrating {
                     after,
@@ -579,10 +576,15 @@ impl OutageSim {
         // Utility restored: compute the recovery tail and final state.
         let (tail, final_state) = match mode {
             Mode::Serving { .. } => (Seconds::ZERO, FinalState::Serving),
-            Mode::Migrating { remaining, pause, .. } => {
+            Mode::Migrating {
+                remaining, pause, ..
+            } => {
                 // Service continues; only an in-flight stop-and-copy pause
                 // still blocks requests.
-                (remaining.min(pause).max(Seconds::ZERO), FinalState::Migrating)
+                (
+                    remaining.min(pause).max(Seconds::ZERO),
+                    FinalState::Migrating,
+                )
             }
             Mode::EnteringSleep { remaining, .. } => (
                 remaining.max(Seconds::ZERO) + transitions.sleep_resume(),
@@ -758,7 +760,11 @@ mod tests {
         assert!(!out.feasible); // the crash was unplanned
         assert!(out.state_lost);
         // Recovered mid-outage: performance is well above zero.
-        assert!(out.perf_during_outage.value() > 0.8, "perf {:?}", out.perf_during_outage);
+        assert!(
+            out.perf_during_outage.value() > 0.8,
+            "perf {:?}",
+            out.perf_during_outage
+        );
         // Downtime is minutes, not the whole two hours.
         assert!(out.downtime.expected < minutes(20.0));
     }
@@ -804,7 +810,12 @@ mod tests {
         let diff = (no_ups.downtime.expected - min_cost.downtime.expected)
             .abs()
             .value();
-        assert!(diff < 150.0, "NoUPS {} vs MinCost {}", no_ups.downtime.expected, min_cost.downtime.expected);
+        assert!(
+            diff < 150.0,
+            "NoUPS {} vs MinCost {}",
+            no_ups.downtime.expected,
+            min_cost.downtime.expected
+        );
     }
 
     #[test]
@@ -821,7 +832,11 @@ mod tests {
         );
         let technique = Technique::throttle_hibernate(crate::technique::low_power_level());
         let out = sim(config, technique).run(minutes(60.0));
-        assert!(out.feasible, "save must have completed: {:?}", out.final_state);
+        assert!(
+            out.feasible,
+            "save must have completed: {:?}",
+            out.final_state
+        );
         assert!(!out.state_lost);
         assert!(matches!(
             out.final_state,
@@ -860,14 +875,17 @@ mod tests {
         let avg_power_fraction = out.energy.value()
             / (Cluster::rack(Workload::specjbb()).peak_power().value()
                 * Seconds::from_minutes(40.0).to_hours());
-        assert!((0.4..0.8).contains(&avg_power_fraction), "avg {avg_power_fraction}");
+        assert!(
+            (0.4..0.8).contains(&avg_power_fraction),
+            "avg {avg_power_fraction}"
+        );
     }
 
     #[test]
     fn diurnal_load_changes_outcome_by_time_of_day() {
         use dcb_workload::LoadProfile;
-        let workload = Workload::specjbb()
-            .with_load_profile(LoadProfile::typical_diurnal(Fraction::new(0.9)));
+        let workload =
+            Workload::specjbb().with_load_profile(LoadProfile::typical_diurnal(Fraction::new(0.9)));
         let sim = OutageSim::new(
             Cluster::rack(workload),
             BackupConfig::no_dg(),

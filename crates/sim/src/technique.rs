@@ -1,7 +1,7 @@
 //! The outage-handling techniques of the paper's Tables 4 and 6.
 
 use core::fmt;
-use dcb_server::{PState, ThrottleLevel, TState};
+use dcb_server::{PState, TState, ThrottleLevel};
 
 /// What the cluster does at the instant the outage begins (Table 4, "Start
 /// of utility outage" column).
@@ -135,7 +135,11 @@ impl Technique {
     /// Min/Max throttling bars).
     #[must_use]
     pub fn throttle_deepest() -> Self {
-        Self::named("Throttle(min)", InitialAction::Continue(low_power_level()), None)
+        Self::named(
+            "Throttle(min)",
+            InitialAction::Continue(low_power_level()),
+            None,
+        )
     }
 
     /// *Migration (Consolidation and Shutdown)*.
@@ -170,14 +174,22 @@ impl Technique {
     /// *Sleep*: suspend to RAM at once.
     #[must_use]
     pub fn sleep() -> Self {
-        Self::named("Sleep", InitialAction::StartSleep(ThrottleLevel::NONE), None)
+        Self::named(
+            "Sleep",
+            InitialAction::StartSleep(ThrottleLevel::NONE),
+            None,
+        )
     }
 
     /// *Sleep-L*: throttle while going to sleep (halves the peak power the
     /// backup must support).
     #[must_use]
     pub fn sleep_l() -> Self {
-        Self::named("Sleep-L", InitialAction::StartSleep(low_power_level()), None)
+        Self::named(
+            "Sleep-L",
+            InitialAction::StartSleep(low_power_level()),
+            None,
+        )
     }
 
     /// *Hibernation*: persist to local disk at once.
@@ -386,9 +398,15 @@ mod tests {
     #[test]
     fn catalog_covers_both_categories() {
         let catalog = Technique::catalog();
-        assert!(catalog.iter().any(|t| t.sustains_execution() && !t.saves_state()));
-        assert!(catalog.iter().any(|t| !t.sustains_execution() && t.saves_state()));
-        assert!(catalog.iter().any(|t| t.sustains_execution() && t.saves_state()));
+        assert!(catalog
+            .iter()
+            .any(|t| t.sustains_execution() && !t.saves_state()));
+        assert!(catalog
+            .iter()
+            .any(|t| !t.sustains_execution() && t.saves_state()));
+        assert!(catalog
+            .iter()
+            .any(|t| t.sustains_execution() && t.saves_state()));
     }
 
     #[test]

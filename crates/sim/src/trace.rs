@@ -115,8 +115,8 @@ mod tests {
 
     #[test]
     fn empty_trace_is_fully_available() {
-        let outcome = sim(BackupConfig::max_perf())
-            .run_trace(&OutageTrace::default(), Seconds::new(YEAR));
+        let outcome =
+            sim(BackupConfig::max_perf()).run_trace(&OutageTrace::default(), Seconds::new(YEAR));
         assert!(outcome.outcomes.is_empty());
         assert_eq!(outcome.availability(), Fraction::ONE);
         assert!(outcome.nines().is_infinite());
@@ -209,7 +209,11 @@ mod tests {
         )
         .run_trace(&trace, Seconds::new(YEAR));
         assert!(outcome.availability() < Fraction::ONE);
-        assert!(outcome.nines() > 2.0 && outcome.nines() < 5.0, "{}", outcome.nines());
+        assert!(
+            outcome.nines() > 2.0 && outcome.nines() < 5.0,
+            "{}",
+            outcome.nines()
+        );
         assert_eq!(outcome.state_losses(), 1);
     }
 }

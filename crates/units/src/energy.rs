@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn runtime_at_zero_load_is_infinite() {
-        assert!(WattHours::new(100.0).runtime_at(Watts::ZERO).value().is_infinite());
+        assert!(WattHours::new(100.0)
+            .runtime_at(Watts::ZERO)
+            .value()
+            .is_infinite());
     }
 
     #[test]

@@ -14,7 +14,9 @@ use core::fmt;
 /// assert_eq!(half.complement().value(), 0.5);
 /// assert_eq!((half * half).value(), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Fraction(f64);
 

@@ -86,7 +86,10 @@ mod tests {
     fn constant_profile_is_flat() {
         let p = LoadProfile::Constant(Fraction::new(0.7));
         assert_eq!(p.utilization_at(Seconds::ZERO), Fraction::new(0.7));
-        assert_eq!(p.utilization_at(Seconds::from_hours(13.0)), Fraction::new(0.7));
+        assert_eq!(
+            p.utilization_at(Seconds::from_hours(13.0)),
+            Fraction::new(0.7)
+        );
         assert_eq!(p.peak(), p.trough());
     }
 

@@ -424,8 +424,7 @@ impl Workload {
         self.memory_footprint = footprint;
         self.hibernate_image = self.hibernate_image * ratio;
         self.dirty.proactive_migration_residual = self.dirty.proactive_migration_residual * ratio;
-        self.dirty.proactive_hibernate_residual =
-            self.dirty.proactive_hibernate_residual * ratio;
+        self.dirty.proactive_hibernate_residual = self.dirty.proactive_hibernate_residual * ratio;
         self.recovery.reload = self.recovery.reload * ratio;
         self
     }
@@ -472,29 +471,50 @@ mod tests {
 
     #[test]
     fn table7_memory_footprints() {
-        assert_eq!(Workload::web_search().memory_footprint(), Gigabytes::new(40.0));
+        assert_eq!(
+            Workload::web_search().memory_footprint(),
+            Gigabytes::new(40.0)
+        );
         assert_eq!(Workload::specjbb().memory_footprint(), Gigabytes::new(18.0));
-        assert_eq!(Workload::memcached().memory_footprint(), Gigabytes::new(20.0));
-        assert_eq!(Workload::spec_cpu().memory_footprint(), Gigabytes::new(16.0));
+        assert_eq!(
+            Workload::memcached().memory_footprint(),
+            Gigabytes::new(20.0)
+        );
+        assert_eq!(
+            Workload::spec_cpu().memory_footprint(),
+            Gigabytes::new(16.0)
+        );
     }
 
     #[test]
     fn specjbb_crash_downtime_is_about_400s() {
         // §6.1: "as much as 400 seconds even for a short 30 seconds outage".
         let d = Workload::specjbb().crash_downtime(Seconds::new(30.0), Seconds::new(120.0));
-        assert!((d.expected.value() - 400.0).abs() < 10.0, "got {}", d.expected);
+        assert!(
+            (d.expected.value() - 400.0).abs() < 10.0,
+            "got {}",
+            d.expected
+        );
     }
 
     #[test]
     fn memcached_crash_downtime_is_about_480s() {
         let d = Workload::memcached().crash_downtime(Seconds::new(30.0), Seconds::new(120.0));
-        assert!((d.expected.value() - 480.0).abs() < 10.0, "got {}", d.expected);
+        assert!(
+            (d.expected.value() - 480.0).abs() < 10.0,
+            "got {}",
+            d.expected
+        );
     }
 
     #[test]
     fn web_search_crash_downtime_is_about_600s() {
         let d = Workload::web_search().crash_downtime(Seconds::new(30.0), Seconds::new(120.0));
-        assert!((d.expected.value() - 600.0).abs() < 15.0, "got {}", d.expected);
+        assert!(
+            (d.expected.value() - 600.0).abs() < 15.0,
+            "got {}",
+            d.expected
+        );
     }
 
     #[test]
@@ -518,7 +538,10 @@ mod tests {
     fn full_speed_full_share_is_full_throughput() {
         for w in Workload::paper_suite() {
             assert_eq!(w.throughput_at(Fraction::ONE, Fraction::ONE), Fraction::ONE);
-            assert_eq!(w.throughput_at(Fraction::ZERO, Fraction::ONE), Fraction::ZERO);
+            assert_eq!(
+                w.throughput_at(Fraction::ZERO, Fraction::ONE),
+                Fraction::ZERO
+            );
         }
     }
 
@@ -543,13 +566,11 @@ mod tests {
     fn oltp_extension_hits_the_opposite_corner() {
         let oltp = Workload::oltp_database();
         // Proactive migration buys almost nothing for OLTP...
-        let ratio = oltp.dirty_profile().proactive_migration_residual
-            / oltp.memory_footprint();
+        let ratio = oltp.dirty_profile().proactive_migration_residual / oltp.memory_footprint();
         assert!(ratio > 0.8, "residual ratio {ratio}");
         // ...while for Specjbb it cuts the state nearly in half.
         let jbb = Workload::specjbb();
-        let jbb_ratio = jbb.dirty_profile().proactive_migration_residual
-            / jbb.memory_footprint();
+        let jbb_ratio = jbb.dirty_profile().proactive_migration_residual / jbb.memory_footprint();
         assert!(jbb_ratio < 0.6);
         // Crash recovery carries a WAL-replay range.
         let crash = oltp.crash_downtime(Seconds::new(30.0), Seconds::new(120.0));

@@ -38,7 +38,10 @@ fn main() {
         ),
     ];
 
-    println!("Planning per-section backup (catalog: {} techniques)...\n", Technique::catalog().len());
+    println!(
+        "Planning per-section backup (catalog: {} techniques)...\n",
+        Technique::catalog().len()
+    );
     let plan = plan(&sections, &Technique::catalog());
 
     println!(
@@ -79,7 +82,11 @@ fn main() {
          worst section downtime {:.1} min, {} feasible, {} state losses\n",
         outcome.perf_during_outage.to_percent(),
         outcome.worst_downtime.to_minutes(),
-        if outcome.all_feasible { "all sections" } else { "NOT all sections" },
+        if outcome.all_feasible {
+            "all sections"
+        } else {
+            "NOT all sections"
+        },
         outcome.sections_losing_state,
     );
 

@@ -41,7 +41,11 @@ fn main() {
             config.label(),
             point.outcome.perf_during_outage.to_percent(),
             point.outcome.downtime.expected.value(),
-            if point.outcome.state_lost { "LOST" } else { "kept" },
+            if point.outcome.state_lost {
+                "LOST"
+            } else {
+                "kept"
+            },
             point.cost,
         );
     }

@@ -70,7 +70,11 @@ fn run() -> Result<(), String> {
             println!("configurations:");
             let model = CostModel::paper();
             for c in configs() {
-                println!("  {:<20} normalized cost {:.2}", c.label(), model.normalized_cost(&c));
+                println!(
+                    "  {:<20} normalized cost {:.2}",
+                    c.label(),
+                    model.normalized_cost(&c)
+                );
             }
             println!("techniques:");
             for t in techniques() {
@@ -80,37 +84,54 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "cost" => {
-            let name = args.get(1).ok_or("usage: dcbackup cost <config> [--peak-mw <MW>]")?;
+            let name = args
+                .get(1)
+                .ok_or("usage: dcbackup cost <config> [--peak-mw <MW>]")?;
             let config = find_config(name).ok_or(format!("unknown configuration '{name}'"))?;
             let mw: f64 = flag_value(&args, "--peak-mw")
                 .map(|v| v.parse().map_err(|_| format!("bad --peak-mw '{v}'")))
                 .transpose()?
                 .unwrap_or(10.0);
             let model = CostModel::paper();
-            let breakdown =
-                model.annual_cost(&config, Kilowatts::from_megawatts(mw).to_watts());
+            let breakdown = model.annual_cost(&config, Kilowatts::from_megawatts(mw).to_watts());
             println!("{config}");
             println!("  datacenter peak    {mw} MW");
             println!("  DG                 ${:>12.0}/yr", breakdown.dg.value());
-            println!("  UPS electronics    ${:>12.0}/yr", breakdown.ups_power.value());
-            println!("  UPS battery energy ${:>12.0}/yr", breakdown.ups_energy.value());
-            println!("  total              ${:>12.0}/yr", breakdown.total().value());
-            println!("  normalized (MaxPerf = 1): {:.2}", model.normalized_cost(&config));
+            println!(
+                "  UPS electronics    ${:>12.0}/yr",
+                breakdown.ups_power.value()
+            );
+            println!(
+                "  UPS battery energy ${:>12.0}/yr",
+                breakdown.ups_energy.value()
+            );
+            println!(
+                "  total              ${:>12.0}/yr",
+                breakdown.total().value()
+            );
+            println!(
+                "  normalized (MaxPerf = 1): {:.2}",
+                model.normalized_cost(&config)
+            );
             Ok(())
         }
         "simulate" => {
-            let usage = "usage: dcbackup simulate <config> <technique> <minutes> [--workload <name>]";
-            let config =
-                find_config(args.get(1).ok_or(usage)?).ok_or("unknown configuration")?;
-            let technique =
-                find_technique(args.get(2).ok_or(usage)?).ok_or("unknown technique")?;
+            let usage =
+                "usage: dcbackup simulate <config> <technique> <minutes> [--workload <name>]";
+            let config = find_config(args.get(1).ok_or(usage)?).ok_or("unknown configuration")?;
+            let technique = find_technique(args.get(2).ok_or(usage)?).ok_or("unknown technique")?;
             let minutes: f64 = args
                 .get(3)
                 .ok_or(usage)?
                 .parse()
                 .map_err(|_| "minutes must be a number")?;
             let cluster = Cluster::rack(workload_arg(&args)?);
-            let p = evaluate(&cluster, &config, &technique, Seconds::from_minutes(minutes));
+            let p = evaluate(
+                &cluster,
+                &config,
+                &technique,
+                Seconds::from_minutes(minutes),
+            );
             println!(
                 "{} + {} on {} for a {minutes} min outage:",
                 config.label(),
@@ -138,8 +159,7 @@ fn run() -> Result<(), String> {
         }
         "size" => {
             let usage = "usage: dcbackup size <technique> <minutes> [--workload <name>]";
-            let technique =
-                find_technique(args.get(1).ok_or(usage)?).ok_or("unknown technique")?;
+            let technique = find_technique(args.get(1).ok_or(usage)?).ok_or("unknown technique")?;
             let minutes: f64 = args
                 .get(2)
                 .ok_or(usage)?
@@ -175,10 +195,8 @@ fn run() -> Result<(), String> {
         }
         "availability" => {
             let usage = "usage: dcbackup availability <config> <technique> [--workload <name>] [--years <n>]";
-            let config =
-                find_config(args.get(1).ok_or(usage)?).ok_or("unknown configuration")?;
-            let technique =
-                find_technique(args.get(2).ok_or(usage)?).ok_or("unknown technique")?;
+            let config = find_config(args.get(1).ok_or(usage)?).ok_or("unknown configuration")?;
+            let technique = find_technique(args.get(2).ok_or(usage)?).ok_or("unknown technique")?;
             let years: usize = flag_value(&args, "--years")
                 .map(|v| v.parse().map_err(|_| format!("bad --years '{v}'")))
                 .transpose()?
@@ -198,7 +216,10 @@ fn run() -> Result<(), String> {
                 r.mean_yearly_downtime.to_minutes(),
                 r.p95_yearly_downtime.to_minutes()
             );
-            println!("  availability         {:.5}%", r.mean_availability.to_percent());
+            println!(
+                "  availability         {:.5}%",
+                r.mean_availability.to_percent()
+            );
             println!("  nines                {:.1}", r.nines.min(9.9));
             println!("  state-loss rate      {:.0}%", r.state_loss_rate * 100.0);
             Ok(())

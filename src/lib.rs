@@ -42,15 +42,41 @@
 //! assert!(point.cost < 0.6);              // ...at ~55% of today's cost.
 //! ```
 //!
+//! ## Parallel sweeps
+//!
+//! Sweeps, sizing searches, plans, and availability analyses all route
+//! through a shared deterministic thread pool and evaluation cache
+//! ([`fleet`], surfaced in core as [`core::fleet`]): batches fan out over
+//! all available cores (override with `DCB_THREADS=1` for serial runs) and
+//! return results bit-identical to serial evaluation.
+//!
+//! ```
+//! use dcbackup::core::evaluate::{paper_durations, sweep_configs};
+//! use dcbackup::core::{fleet, BackupConfig, Cluster, Technique};
+//! use dcbackup::workload::Workload;
+//!
+//! // The full Figure-5 grid, fanned out over the shared pool.
+//! let rows = sweep_configs(
+//!     &Cluster::rack(Workload::specjbb()),
+//!     &BackupConfig::table3(),
+//!     &paper_durations(),
+//!     &Technique::catalog(),
+//! );
+//! assert_eq!(rows.len(), BackupConfig::table3().len() * 5);
+//! // Every simulated point is now memoized: re-sweeping is ~free.
+//! assert!(fleet::cache_stats().misses > 0);
+//! ```
+//!
 //! The sub-crates are re-exported as modules: [`units`], [`battery`],
 //! [`outage`], [`server`], [`workload`], [`migration`], [`power`], [`sim`],
-//! and [`core`].
+//! [`fleet`], and [`core`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use dcb_battery as battery;
 pub use dcb_core as core;
+pub use dcb_fleet as fleet;
 pub use dcb_migration as migration;
 pub use dcb_outage as outage;
 pub use dcb_power as power;

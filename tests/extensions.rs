@@ -35,7 +35,12 @@ fn nvdimm_dominates_on_state_but_not_on_cost() {
         duration,
     );
     assert!(!sleep.outcome.state_lost);
-    assert!(sleep.cost < nvdimm.cost, "sleep {} vs nvdimm {}", sleep.cost, nvdimm.cost);
+    assert!(
+        sleep.cost < nvdimm.cost,
+        "sleep {} vs nvdimm {}",
+        sleep.cost,
+        nvdimm.cost
+    );
 }
 
 #[test]
@@ -75,7 +80,11 @@ fn rdma_sleep_beats_plain_sleep_on_lost_service() {
 fn geo_failover_composes_with_every_local_technique() {
     let cluster = Cluster::rack(Workload::web_search());
     let geo = GeoFailover::typical();
-    for technique in [Technique::crash(), Technique::sleep_l(), Technique::hibernate()] {
+    for technique in [
+        Technique::crash(),
+        Technique::sleep_l(),
+        Technique::hibernate(),
+    ] {
         let out = evaluate_with_failover(
             &cluster,
             &BackupConfig::no_dg(),
@@ -142,11 +151,8 @@ fn controller_survives_weibull_reality_through_p95() {
     let cluster = Cluster::rack(Workload::specjbb());
     let weibull = WeibullDuration::fit_us_business();
     for q in [0.5, 0.8, 0.9, 0.95] {
-        let outcome = controller.simulate(
-            &cluster,
-            &BackupConfig::large_e_ups(),
-            weibull.quantile(q),
-        );
+        let outcome =
+            controller.simulate(&cluster, &BackupConfig::large_e_ups(), weibull.quantile(q));
         assert!(!outcome.state_lost, "state lost at Weibull q={q}");
     }
 }

@@ -71,7 +71,11 @@ fn controller_beats_static_sleep_on_short_outages() {
         );
     }
     let short = ctl.simulate(&cluster, &config, Seconds::new(30.0));
-    assert!(short.perf_during_outage.value() > 0.9, "{:?}", short.perf_during_outage);
+    assert!(
+        short.perf_during_outage.value() > 0.9,
+        "{:?}",
+        short.perf_during_outage
+    );
 }
 
 #[test]

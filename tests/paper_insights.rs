@@ -25,7 +25,12 @@ fn insight_61_i_dg_translates_long_outages_at_significant_cost() {
     assert!(with_dg.outcome.seamless());
     // The DG-carrying configuration costs ~2.6x the best DG-less point that
     // still preserves state for the same outage.
-    let without = best_technique(&specjbb(), &BackupConfig::small_p_large_e_ups(), long, &catalog);
+    let without = best_technique(
+        &specjbb(),
+        &BackupConfig::small_p_large_e_ups(),
+        long,
+        &catalog,
+    );
     assert!(!without.outcome.state_lost);
     assert!(with_dg.cost > 2.5 * without.cost);
 }
@@ -56,7 +61,12 @@ fn insight_61_iii_ups_can_eliminate_dg_to_100_minutes_at_same_cost() {
         Fraction::ONE,
         Seconds::from_minutes(100.0),
     );
-    let p = evaluate(&specjbb(), &config, &Technique::ride_through(), Seconds::from_minutes(95.0));
+    let p = evaluate(
+        &specjbb(),
+        &config,
+        &Technique::ride_through(),
+        Seconds::from_minutes(95.0),
+    );
     assert!(p.cost <= 1.0);
     assert!(p.outcome.seamless());
 }
@@ -80,7 +90,11 @@ fn insight_61_iv_forty_percent_degradation_forty_percent_savings() {
         &targets,
     )
     .expect("sizable");
-    assert!(point.performability.cost <= 0.6, "cost {}", point.performability.cost);
+    assert!(
+        point.performability.cost <= 0.6,
+        "cost {}",
+        point.performability.cost
+    );
 }
 
 #[test]
@@ -92,11 +106,18 @@ fn insight_61_v_long_runtime_beats_high_power_for_long_outages() {
     let catalog = Technique::catalog();
     for minutes in [30.0, 60.0] {
         let duration = Seconds::from_minutes(minutes);
-        let runtime_rich =
-            best_technique(&specjbb(), &BackupConfig::small_p_large_e_ups(), duration, &catalog);
+        let runtime_rich = best_technique(
+            &specjbb(),
+            &BackupConfig::small_p_large_e_ups(),
+            duration,
+            &catalog,
+        );
         let power_rich = best_technique(&specjbb(), &BackupConfig::no_dg(), duration, &catalog);
         assert!((runtime_rich.cost - power_rich.cost).abs() < 0.01);
-        assert!(runtime_rich.lost_service() < power_rich.lost_service(), "{minutes} min");
+        assert!(
+            runtime_rich.lost_service() < power_rich.lost_service(),
+            "{minutes} min"
+        );
     }
 }
 
@@ -123,9 +144,7 @@ fn insight_62_i_sleep_low_cost_low_downtime_for_short_to_medium() {
             &Technique::crash(),
             Seconds::from_minutes(minutes),
         );
-        assert!(
-            point.performability.outcome.downtime.expected < crash.outcome.downtime.expected
-        );
+        assert!(point.performability.outcome.downtime.expected < crash.outcome.downtime.expected);
     }
 }
 
@@ -136,8 +155,13 @@ fn insight_62_ii_throttling_spectrum_but_infeasible_at_low_budgets() {
     // budgets."
     let duration = Seconds::from_minutes(30.0);
     let targets = SizingTargets::execute_to_plan();
-    let deep = min_cost_ups(&specjbb(), &Technique::throttle_deepest(), duration, &targets)
-        .expect("deep throttle sizable");
+    let deep = min_cost_ups(
+        &specjbb(),
+        &Technique::throttle_deepest(),
+        duration,
+        &targets,
+    )
+    .expect("deep throttle sizable");
     let full = min_cost_ups(&specjbb(), &Technique::ride_through(), duration, &targets)
         .expect("ride-through sizable");
     // A spectrum: deeper throttle cheaper, shallower costlier but faster.

@@ -20,7 +20,11 @@ fn figure5_maxperf_dominates_everywhere() {
             Seconds::from_minutes(minutes),
             &catalog,
         );
-        assert!(p.outcome.seamless(), "{minutes} min: {:?}", p.outcome.downtime);
+        assert!(
+            p.outcome.seamless(),
+            "{minutes} min: {:?}",
+            p.outcome.downtime
+        );
         assert!(p.outcome.perf_during_outage.value() > 0.99);
     }
 }
@@ -90,7 +94,10 @@ fn figure5_small_p_large_e_beats_no_dg_for_long_outages() {
             &catalog,
         );
         let no_dg = best_technique(&specjbb(), &BackupConfig::no_dg(), duration, &catalog);
-        assert!((trade.cost - no_dg.cost).abs() < 0.01, "same cost by construction");
+        assert!(
+            (trade.cost - no_dg.cost).abs() < 0.01,
+            "same cost by construction"
+        );
         assert!(
             trade.lost_service() < no_dg.lost_service(),
             "{minutes} min: SmallP-LargeEUPS {:.0}s lost vs NoDG {:.0}s",
@@ -111,7 +118,12 @@ fn figure6_hibernation_bad_for_short_outages_good_technique_exists() {
         &Technique::hibernate(),
         outage,
     );
-    let sleep = evaluate(&specjbb(), &BackupConfig::no_dg(), &Technique::sleep_l(), outage);
+    let sleep = evaluate(
+        &specjbb(),
+        &BackupConfig::no_dg(),
+        &Technique::sleep_l(),
+        outage,
+    );
     assert!(hibernate.outcome.downtime.expected.value() > 350.0);
     assert!(sleep.outcome.downtime.expected.value() < 45.0);
 }

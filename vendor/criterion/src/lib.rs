@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — backed by a simple wall-clock harness: each
+//! benchmark is calibrated to a target measurement time, then timed and
+//! reported as mean time per iteration. No statistics, HTML reports, or
+//! history; the numbers are honest but unadorned.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// Default number of measured samples per benchmark.
+const DEFAULT_SAMPLES: usize = 20;
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean duration per call.
+    ///
+    /// The routine is first calibrated so one sample lasts roughly
+    /// [`TARGET_SAMPLE_TIME`], then `samples` samples are measured.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Calibration: find an iteration count giving a sample long enough
+        // to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= MAX_ITERS_PER_SAMPLE {
+                break;
+            }
+            let scale =
+                (TARGET_SAMPLE_TIME.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil() as u64;
+            iters = (iters.saturating_mul(scale.clamp(2, 100))).min(MAX_ITERS_PER_SAMPLE);
+        }
+
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            total += t0.elapsed();
+        }
+        let calls = iters.saturating_mul(self.samples as u64).max(1);
+        self.mean = total / u32::try_from(calls).unwrap_or(u32::MAX);
+        self.iters_per_sample = iters;
+    }
+}
+
+/// How long one measured sample should take after calibration.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+/// Upper bound on iterations per sample (guards against sub-ns closures).
+const MAX_ITERS_PER_SAMPLE: u64 = 1 << 22;
+
+fn run_benchmark<F>(name: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        mean: Duration::ZERO,
+        iters_per_sample: 0,
+    };
+    f(&mut bencher);
+    println!(
+        "{name:<44} time: [{}]   ({} samples × {} iters)",
+        format_duration(bencher.mean),
+        samples,
+        bencher.iters_per_sample
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let mut group = c.benchmark_group("group");
+        group.sample_size(5);
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

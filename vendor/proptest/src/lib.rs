@@ -1,0 +1,156 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The registry is unreachable in this environment, so this crate
+//! re-implements the slice of proptest the workspace actually uses:
+//!
+//! * the [`proptest!`] macro over `arg in strategy` parameter lists,
+//!   including the `#![proptest_config(...)]` header;
+//! * [`prop_assert!`], [`prop_assert_eq!`], and [`prop_oneof!`];
+//! * range strategies over the primitive numeric types, [`Just`],
+//!   `prop_map`, and strategy unions.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated arguments
+//!   printed; re-running reproduces it exactly (see below) but no smaller
+//!   counterexample is searched for.
+//! * **Deterministic seeding.** Each test's RNG is seeded from a stable
+//!   hash of its module path and name, so failures reproduce across runs
+//!   and machines without a persistence file.
+//! * Default case count is 64 (not 256) to keep single-core CI quick;
+//!   override per block with `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{boxed, Just, Map, Strategy, Union};
+pub use test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+
+/// Builds the deterministic RNG for a named test: the seed is an FNV-1a
+/// hash of the (module-qualified) test name.
+#[must_use]
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seeded(hash)
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that evaluates the body over `config.cases`
+/// generated argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let __described = format!(
+                        concat!("case #{}: " $(, stringify!($arg), " = {:?}; ")*),
+                        __case $(, &$arg)*
+                    );
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(err) = __outcome {
+                        panic!(
+                            "property '{}' failed at {}\n  {}",
+                            stringify!($name),
+                            __described,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current property case when its precondition does not hold.
+///
+/// Real proptest rejects the case and generates a replacement (up to a
+/// rejection budget); this stand-in simply ends the case successfully,
+/// which is equivalent for the loose preconditions used in this workspace.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Fails the current property case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current property case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "{} (left: {:?}, right: {:?})",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::boxed($strat)),+])
+    };
+}

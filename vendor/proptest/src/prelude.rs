@@ -1,0 +1,5 @@
+//! One-stop imports for property tests: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{Just, Map, Strategy, Union};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};

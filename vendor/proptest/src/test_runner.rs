@@ -1,0 +1,93 @@
+//! Test-runner plumbing: configuration, case errors, and the deterministic
+//! RNG handed to strategies.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property case: carries the formatted assertion message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps an assertion message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic RNG strategies draw from.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform draw from the half-open unit interval `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from the closed unit interval `[0, 1]`.
+    pub fn unit_f64_inclusive(&mut self) -> f64 {
+        const DENOM: f64 = ((1u64 << 53) - 1) as f64;
+        (self.next_u64() >> 11) as f64 / DENOM
+    }
+
+    /// Uniform index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample an index from an empty range");
+        // Modulo bias is negligible for the small bounds used in tests.
+        (self.next_u64() % bound as u64) as usize
+    }
+}

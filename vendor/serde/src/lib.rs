@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde exclusively for derive annotations on model
+//! types; no code path serializes or deserializes at runtime. Because the
+//! registry is unreachable in this environment, this stub keeps those
+//! annotations compiling: `Serialize`/`Deserialize` are marker traits with
+//! blanket implementations, and the re-exported derives (see
+//! `serde_derive`) expand to nothing while still accepting `#[serde(...)]`
+//! helper attributes.
+//!
+//! If real serialization is ever needed, replace this stub with the real
+//! crate by restoring the registry entry in the workspace manifest — no
+//! downstream code changes required.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types (the real trait's `'de` lifetime is dropped — nothing names it as a
+/// bound in this workspace).
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

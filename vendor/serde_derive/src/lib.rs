@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, and
+//! the workspace only ever uses serde for `#[derive(serde::Serialize,
+//! serde::Deserialize)]` annotations — nothing serializes at runtime. The
+//! companion `serde` stub provides blanket implementations of both traits,
+//! so these derives only need to (a) exist and (b) register the `serde`
+//! helper attribute so field/container attributes like
+//! `#[serde(transparent)]` keep parsing. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` helpers.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` helpers.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
