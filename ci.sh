@@ -19,4 +19,13 @@ cargo test -q
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== dcb-audit check (workspace invariants)"
+cargo run --release -q -p dcb-audit -- check
+
+echo "== dcb-audit self-test (fixtures + lexer + lints)"
+cargo test -q -p dcb-audit
+
+echo "== dcb-audit sweep (model contracts over the Table 3 grid)"
+cargo run --release -q -p dcb-audit -- sweep
+
 echo "CI green."

@@ -1,0 +1,426 @@
+//! The repo-specific lint rules and their scope matrix.
+//!
+//! Each lint is a pure function over a scanned token stream; scope
+//! (which roles and crates it applies to) lives in the [`LintSpec`]
+//! registry so `check_file` can apply the matrix uniformly and the CLI can
+//! print it.
+
+use crate::lexer::{ScannedFile, Token, TokenKind};
+use crate::report::Finding;
+use crate::walk::{Role, SourceFile};
+
+/// A lint's identity and scope.
+pub struct LintSpec {
+    /// Stable identifier, used in reports and `allow(...)` directives.
+    pub name: &'static str,
+    /// One-line description for `dcb-audit lints`.
+    pub summary: &'static str,
+    /// Roles the lint applies to.
+    pub roles: &'static [Role],
+    /// Crates exempt from the lint (directory names under `crates/`).
+    pub exempt_crates: &'static [&'static str],
+    /// Whether `#[cfg(test)]` regions inside otherwise-covered files are
+    /// skipped.
+    pub skip_in_test: bool,
+    check: fn(&[Token]) -> Vec<(u32, String)>,
+}
+
+/// Every lint, in report order.
+#[must_use]
+pub fn all() -> Vec<LintSpec> {
+    vec![
+        LintSpec {
+            name: "unit-leak",
+            summary: "raw f64 carrying power/energy/money outside crates/units (use the typed quantities)",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &["units"],
+            skip_in_test: true,
+            check: unit_leak,
+        },
+        LintSpec {
+            name: "float-cmp",
+            summary: "exact ==/!= against floating-point values (use tolerances or total_cmp)",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &[],
+            skip_in_test: true,
+            check: float_cmp,
+        },
+        LintSpec {
+            name: "hash-container",
+            summary: "HashMap/HashSet iteration order is nondeterministic in result paths (use BTreeMap/Vec; dcb-fleet owns the one sanctioned cache)",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &["fleet"],
+            skip_in_test: true,
+            check: hash_container,
+        },
+        LintSpec {
+            name: "time-source",
+            summary: "Instant/SystemTime reads make results wall-clock dependent (benches are exempt by role)",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &[],
+            skip_in_test: true,
+            check: time_source,
+        },
+        LintSpec {
+            name: "thread-spawn",
+            summary: "ad-hoc threads outside dcb-fleet bypass the deterministic pool",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &["fleet"],
+            skip_in_test: true,
+            check: thread_spawn,
+        },
+        LintSpec {
+            name: "panic-site",
+            summary: "unwrap/expect/panic!/todo!/unimplemented! in library code (return Results or document `# Panics` and allow)",
+            roles: &[Role::Library],
+            exempt_crates: &[],
+            skip_in_test: true,
+            check: panic_site,
+        },
+    ]
+}
+
+/// Runs every applicable lint over one scanned file, honoring the scope
+/// matrix and inline `allow` directives. Findings come back sorted by
+/// line, then lint name.
+#[must_use]
+pub fn check_file(file: &SourceFile, scanned: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for spec in all() {
+        if !spec.roles.contains(&file.role) {
+            continue;
+        }
+        if spec.exempt_crates.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (line, message) in (spec.check)(&scanned.tokens) {
+            if spec.skip_in_test && token_line_in_test(&scanned.tokens, line) {
+                continue;
+            }
+            if scanned.allowed(spec.name, line) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: spec.name,
+                file: file.rel.clone(),
+                line,
+                message,
+            });
+        }
+    }
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.lint.cmp(b.lint)));
+    findings
+}
+
+/// Whether any token on `line` is inside a `#[cfg(test)]` region. Lints
+/// report the line of the token they matched, so this is a faithful
+/// in-test check for the match site.
+fn token_line_in_test(tokens: &[Token], line: u32) -> bool {
+    tokens.iter().any(|t| t.line == line && t.in_test)
+}
+
+/// Identifier segments that mark a binding as carrying a physical unit.
+/// Time words are deliberately excluded (durations-as-f64-minutes are a
+/// deliberate API surface in the TCO layer), as is `cost` (normalized
+/// costs are genuinely dimensionless).
+const UNIT_WORDS: [&str; 17] = [
+    "w",
+    "watt",
+    "watts",
+    "kw",
+    "mw",
+    "kilowatt",
+    "kilowatts",
+    "megawatt",
+    "megawatts",
+    "wh",
+    "kwh",
+    "mwh",
+    "joule",
+    "joules",
+    "dollar",
+    "dollars",
+    "usd",
+];
+
+fn has_unit_word(ident: &str) -> bool {
+    ident
+        .split('_')
+        .any(|seg| UNIT_WORDS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+/// Whether the tokens starting at `start` denote an `f64` type, tolerating
+/// a few wrapper tokens (`&`, `mut`, `Option`, `Vec`, `<`, lifetimes).
+fn is_f64_type_at(tokens: &[Token], start: usize) -> Option<u32> {
+    let mut j = start;
+    let limit = start + 6;
+    while j < tokens.len() && j <= limit {
+        let t = &tokens[j];
+        if t.kind.is_ident("f64") {
+            return Some(t.line);
+        }
+        let skippable = t.kind.is_op("&")
+            || t.kind.is_op("<")
+            || t.kind.is_ident("mut")
+            || t.kind.is_ident("Option")
+            || t.kind.is_ident("Vec")
+            || matches!(t.kind, TokenKind::Lifetime(_));
+        if !skippable {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `unit-leak`: `<unit_ident>: f64` bindings and `fn <unit_ident>(..) -> f64`
+/// signatures outside `crates/units`.
+fn unit_leak(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.kind.ident() else { continue };
+        if !has_unit_word(name) {
+            continue;
+        }
+        // `name : f64` — field, argument, or local with a type ascription.
+        if tokens.get(i + 1).is_some_and(|n| n.kind.is_op(":"))
+            && is_f64_type_at(tokens, i + 2).is_some()
+        {
+            out.push((
+                t.line,
+                format!("`{name}: f64` carries a physical unit as a bare float; use the dcb-units quantity type"),
+            ));
+            continue;
+        }
+        // `fn name(...) -> f64`.
+        if i > 0 && tokens[i - 1].kind.is_ident("fn") {
+            let mut j = i + 1;
+            let limit = j + 60;
+            while j < tokens.len() && j <= limit {
+                let k = &tokens[j].kind;
+                if k.is_op("{") || k.is_op(";") {
+                    break;
+                }
+                if k.is_op("->") {
+                    if let Some(line) = is_f64_type_at(tokens, j + 1) {
+                        out.push((
+                            line,
+                            format!("`fn {name}(..) -> f64` returns a physical unit as a bare float; use the dcb-units quantity type"),
+                        ));
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `float-cmp`: `==`/`!=` whose immediate operand is a float literal or a
+/// `.value()` quantity read.
+fn float_cmp(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let op = match &t.kind {
+            TokenKind::Op(s) if s == "==" || s == "!=" => s.clone(),
+            _ => continue,
+        };
+        let left_float = i > 0 && tokens[i - 1].kind.is_float();
+        let left_value_call = i >= 3
+            && tokens[i - 1].kind.is_op(")")
+            && tokens[i - 2].kind.is_op("(")
+            && tokens[i - 3].kind.is_ident("value");
+        let right_float = tokens.get(i + 1).is_some_and(|n| n.kind.is_float());
+        if left_float || left_value_call || right_float {
+            out.push((
+                t.line,
+                format!(
+                    "exact `{op}` on a floating-point value; compare with a tolerance or total_cmp"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `hash-container`: any mention of `HashMap`/`HashSet`.
+fn hash_container(tokens: &[Token]) -> Vec<(u32, String)> {
+    tokens
+        .iter()
+        .filter_map(|t| {
+            let name = t.kind.ident()?;
+            (name == "HashMap" || name == "HashSet").then(|| {
+                (
+                    t.line,
+                    format!("`{name}` iteration order is nondeterministic; use BTreeMap/Vec in result paths"),
+                )
+            })
+        })
+        .collect()
+}
+
+/// `time-source`: any mention of `Instant`/`SystemTime`.
+fn time_source(tokens: &[Token]) -> Vec<(u32, String)> {
+    tokens
+        .iter()
+        .filter_map(|t| {
+            let name = t.kind.ident()?;
+            (name == "Instant" || name == "SystemTime").then(|| {
+                (
+                    t.line,
+                    format!("`{name}` makes results depend on the wall clock; model time must flow through simulated Seconds"),
+                )
+            })
+        })
+        .collect()
+}
+
+/// `thread-spawn`: `thread::spawn`/`thread::scope` outside dcb-fleet.
+fn thread_spawn(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len().saturating_sub(2) {
+        if tokens[i].kind.is_ident("thread")
+            && tokens[i + 1].kind.is_op("::")
+            && tokens[i + 2]
+                .kind
+                .ident()
+                .is_some_and(|n| n == "spawn" || n == "scope")
+        {
+            out.push((
+                tokens[i].line,
+                "ad-hoc thread creation bypasses the deterministic dcb-fleet pool".to_owned(),
+            ));
+        }
+    }
+    out
+}
+
+/// `panic-site`: `.unwrap(`, `.expect(`, `panic!`, `todo!`,
+/// `unimplemented!` in library code.
+fn panic_site(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        // `. unwrap (` / `. expect (`
+        if i + 2 < tokens.len() && tokens[i].kind.is_op(".") && tokens[i + 2].kind.is_op("(") {
+            if let Some(name) = tokens[i + 1].kind.ident() {
+                if name == "unwrap" || name == "expect" {
+                    out.push((
+                        tokens[i + 1].line,
+                        format!("`.{name}(...)` can panic in library code; return a Result or document `# Panics` and allow"),
+                    ));
+                    continue;
+                }
+            }
+        }
+        // `panic !` / `todo !` / `unimplemented !`
+        if i + 1 < tokens.len() && tokens[i + 1].kind.is_op("!") {
+            if let Some(name) = tokens[i].kind.ident() {
+                if name == "panic" || name == "todo" || name == "unimplemented" {
+                    out.push((
+                        tokens[i].line,
+                        format!("`{name}!` aborts library callers; return a Result or document `# Panics` and allow"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use std::path::PathBuf;
+
+    fn lib_file() -> SourceFile {
+        SourceFile {
+            path: PathBuf::from("crates/x/src/lib.rs"),
+            rel: "crates/x/src/lib.rs".to_owned(),
+            role: Role::Library,
+            crate_name: "x".to_owned(),
+        }
+    }
+
+    fn check(src: &str) -> Vec<Finding> {
+        check_file(&lib_file(), &scan(src))
+    }
+
+    #[test]
+    fn unit_leak_field_and_signature() {
+        let findings = check("struct S { peak_watts: f64 }\nfn dollars_spent() -> f64 { 0.0 }");
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.lint == "unit-leak"));
+        // Wrapped types still count; unitless names do not.
+        assert_eq!(check("fn f(kwh: Option<f64>) {}").len(), 1);
+        assert!(check("fn f(ratio: f64) {}").is_empty());
+        assert!(check("fn f(minutes_per_year: f64) {}").is_empty());
+    }
+
+    #[test]
+    fn float_cmp_literals_and_value_calls() {
+        assert_eq!(check("fn f() { let _ = x == 1.0; }").len(), 1);
+        assert_eq!(check("fn f() { let _ = a.value() != b; }").len(), 1);
+        assert!(check("fn f() { let _ = n == 3; }").is_empty());
+        assert!(check("fn f() { let _ = x <= 1.0; }").is_empty());
+    }
+
+    #[test]
+    fn determinism_lints() {
+        assert_eq!(check("use std::collections::HashMap;").len(), 1);
+        assert_eq!(check("fn f() { let t = Instant::now(); }").len(), 1);
+        assert_eq!(check("fn f() { thread::spawn(|| {}); }").len(), 1);
+        // thread::sleep is not a spawn.
+        assert!(check("fn f() { thread::sleep(d); }").is_empty());
+    }
+
+    #[test]
+    fn panic_sites() {
+        assert_eq!(check("fn f() { x.unwrap(); }").len(), 1);
+        assert_eq!(check("fn f() { x.expect(\"msg\"); }").len(), 1);
+        assert_eq!(check("fn f() { panic!(\"boom\"); }").len(), 1);
+        // Non-panicking relatives stay clean.
+        assert!(check("fn f() { x.unwrap_or(0); }").is_empty());
+        assert!(check("fn f() { x.unwrap_or_else(g); }").is_empty());
+        assert!(check("fn f() { assert!(ok); }").is_empty());
+    }
+
+    #[test]
+    fn scope_matrix_applies() {
+        // Panic sites in test files are fine.
+        let mut f = lib_file();
+        f.role = Role::Test;
+        assert!(check_file(&f, &scan("fn f() { x.unwrap(); }")).is_empty());
+        // HashMap inside dcb-fleet is sanctioned.
+        let mut f = lib_file();
+        f.crate_name = "fleet".to_owned();
+        assert!(check_file(&f, &scan("use std::collections::HashMap;")).is_empty());
+        // f64 inside crates/units is the implementation substrate.
+        let mut f = lib_file();
+        f.crate_name = "units".to_owned();
+        assert!(check_file(&f, &scan("struct Watts { watts: f64 }")).is_empty());
+        // Unit-test modules inside library files are skipped.
+        let src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_and_is_lint_specific() {
+        let allowed =
+            "// dcb-audit: allow(panic-site, infallible by construction)\nfn f() { x.unwrap(); }";
+        assert!(check(allowed).is_empty());
+        let wrong_lint = "// dcb-audit: allow(float-cmp, nope)\nfn f() { x.unwrap(); }";
+        assert_eq!(check(wrong_lint).len(), 1);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_documented() {
+        let specs = all();
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len());
+        assert!(specs.iter().all(|s| !s.summary.is_empty()));
+    }
+}

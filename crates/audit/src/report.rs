@@ -1,0 +1,118 @@
+//! Findings and their rendering: human-readable text and a hand-rolled
+//! machine-readable JSON document (no serde dependency needed for a
+//! flat record shape).
+
+use std::fmt::Write as _;
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint identifier (`unit-leak`, `float-cmp`, ...).
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What was matched and why it is suspect.
+    pub message: String,
+}
+
+/// Renders findings as one-per-line text, `path:line: [lint] message`.
+#[must_use]
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+    }
+    if findings.is_empty() {
+        out.push_str("audit clean: no findings\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "{} finding{} (suppress intentional sites with `// dcb-audit: allow(<lint>, reason)`)",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+        );
+    }
+    out
+}
+
+/// Renders findings as a JSON document:
+/// `{"findings": [{"lint": ..., "file": ..., "line": N, "message": ...}], "count": N}`.
+#[must_use]
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(f.lint),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message),
+        );
+    }
+    if findings.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    let _ = write!(out, ",\n  \"count\": {}\n}}\n", findings.len());
+    out
+}
+
+/// Escapes a string for JSON embedding.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            lint: "float-cmp",
+            file: "crates/x/src/lib.rs".to_owned(),
+            line: 7,
+            message: "exact `==` on floating-point \"values\"".to_owned(),
+        }]
+    }
+
+    #[test]
+    fn text_shape() {
+        let text = render_text(&sample());
+        assert!(text.starts_with("crates/x/src/lib.rs:7: [float-cmp]"));
+        assert!(text.contains("1 finding "));
+        assert!(render_text(&[]).contains("audit clean"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\\\"values\\\""));
+        let empty = render_json(&[]);
+        assert!(empty.contains("\"findings\": []"));
+        assert!(empty.contains("\"count\": 0"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: every violation carries an `allow` directive, so the file is
+//! clean (0 expected findings).
+
+use std::collections::HashMap; // dcb-audit: allow(hash-container, fixture exercises suppression)
+
+pub struct Rack {
+    // dcb-audit: allow(unit-leak, fixture exercises suppression)
+    pub peak_watts: f64,
+}
+
+pub fn brittle(input: Option<u32>, x: f64) -> bool {
+    // dcb-audit: allow(panic-site, fixture exercises suppression)
+    let a = input.unwrap();
+    // dcb-audit: allow(float-cmp, fixture exercises suppression)
+    let exact = x == 1.0;
+    a > 0 && exact
+}

@@ -1,0 +1,24 @@
+//! Fixture: idiomatic code under the house rules (0 expected findings).
+
+use std::collections::BTreeMap;
+
+pub struct Rack {
+    pub peak: Watts,
+    pub battery: WattHours,
+}
+
+pub fn tally(labels: &[&str]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for label in labels {
+        *counts.entry((*label).to_owned()).or_insert(0usize) += 1;
+    }
+    counts
+}
+
+pub fn near(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn first(table: &[u32]) -> Option<u32> {
+    table.first().copied()
+}

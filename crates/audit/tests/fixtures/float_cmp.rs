@@ -1,0 +1,10 @@
+//! Fixture: exact floating-point comparisons (3 expected `float-cmp` findings).
+
+pub fn checks(x: f64, budget: Budget) -> bool {
+    let exact_literal = x == 1.0;
+    let exact_quantity = budget.limit.value() != x;
+    let left_literal = 0.5 == x;
+    // Tolerant comparisons stay clean.
+    let ok = (x - 1.0).abs() < 1e-9 && x <= 2.0;
+    exact_literal || exact_quantity || left_literal || ok
+}

@@ -1,0 +1,12 @@
+//! Fixture: nondeterministic containers in a result path (2 expected
+//! `hash-container` findings).
+
+use std::collections::HashMap;
+
+pub fn tally(labels: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = Default::default();
+    for label in labels {
+        *counts.entry((*label).to_owned()).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,19 @@
+//! Fixture: panicking shortcuts in library code (4 expected `panic-site`
+//! findings).
+
+pub fn brittle(input: Option<u32>, table: &[u32]) -> u32 {
+    let a = input.unwrap();
+    let b = table.first().expect("table must not be empty");
+    if a > 100 {
+        panic!("out of range");
+    }
+    if *b == 0 {
+        todo!();
+    }
+    a + b
+}
+
+pub fn sturdy(input: Option<u32>) -> u32 {
+    // Non-panicking relatives stay clean.
+    input.unwrap_or_default()
+}

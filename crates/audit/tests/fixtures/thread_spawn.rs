@@ -1,0 +1,10 @@
+//! Fixture: ad-hoc threading outside dcb-fleet (2 expected `thread-spawn`
+//! findings).
+
+use std::thread;
+
+pub fn fan_out(jobs: Vec<Job>) {
+    let handles: Vec<_> = jobs.into_iter().map(|j| thread::spawn(|| j.run())).collect();
+    thread::scope(|_| {});
+    drop(handles);
+}

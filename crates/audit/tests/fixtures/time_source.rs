@@ -1,0 +1,10 @@
+//! Fixture: wall-clock reads in model code (2 expected `time-source`
+//! findings).
+
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}

@@ -1,0 +1,15 @@
+//! Fixture: raw f64 carrying physical units (3 expected `unit-leak` findings).
+
+pub struct Rack {
+    pub peak_watts: f64,
+    pub battery_kwh: f64,
+}
+
+pub fn dollars_per_server() -> f64 {
+    2_000.0 / 4.0
+}
+
+pub fn utilization(fraction: f64) -> f64 {
+    // Unitless names stay clean even in a unit-leak fixture.
+    fraction
+}

@@ -1,0 +1,100 @@
+//! Analyzer self-test: every lint class is detected on its seeded fixture,
+//! the `allow` escape hatch suppresses, clean code stays clean, and the
+//! live workspace itself audits to zero findings.
+
+use dcb_audit::walk::{Role, SourceFile};
+use dcb_audit::{check_source, check_workspace};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// Loads a fixture and lints it as if it were library code of a regular
+/// (non-exempt) crate.
+fn audit_fixture(name: &str) -> Vec<&'static str> {
+    let path = fixture_dir().join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let file = SourceFile {
+        path,
+        rel: format!("crates/fixture/src/{name}"),
+        role: Role::Library,
+        crate_name: "fixture".to_owned(),
+    };
+    check_source(&file, &source)
+        .iter()
+        .map(|f| f.lint)
+        .collect()
+}
+
+fn count(lints: &[&str], lint: &str) -> usize {
+    lints.iter().filter(|&&l| l == lint).count()
+}
+
+#[test]
+fn every_lint_class_is_detected() {
+    for (fixture, lint, expected) in [
+        ("unit_leak.rs", "unit-leak", 3),
+        ("float_cmp.rs", "float-cmp", 3),
+        ("hash_container.rs", "hash-container", 2),
+        ("time_source.rs", "time-source", 2),
+        ("thread_spawn.rs", "thread-spawn", 2),
+        ("panic_site.rs", "panic-site", 4),
+    ] {
+        let found = audit_fixture(fixture);
+        assert_eq!(
+            count(&found, lint),
+            expected,
+            "{fixture} expected {expected} × {lint}, found {found:?}"
+        );
+        // The fixture seeds exactly one lint class (its `f64` scaffolding
+        // must not leak other findings).
+        assert!(
+            found.iter().all(|&l| l == lint),
+            "{fixture} leaked extra lints: {found:?}"
+        );
+    }
+}
+
+#[test]
+fn allow_directive_suppresses_every_class() {
+    assert_eq!(audit_fixture("allow_suppression.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn clean_code_stays_clean() {
+    assert_eq!(audit_fixture("clean.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn fixtures_are_role_scoped_out_as_tests() {
+    // The same seeded violations audited as *test* code produce nothing:
+    // the scope matrix, not luck, keeps test files quiet.
+    let path = fixture_dir().join("panic_site.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture unreadable");
+    let file = SourceFile {
+        path,
+        rel: "crates/fixture/tests/panic_site.rs".to_owned(),
+        role: Role::Test,
+        crate_name: "fixture".to_owned(),
+    };
+    assert!(check_source(&file, &source).is_empty());
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root above crates/audit");
+    let findings = check_workspace(root).expect("workspace walk failed");
+    assert!(
+        findings.is_empty(),
+        "live workspace has {} finding(s):\n{}",
+        findings.len(),
+        dcb_audit::report::render_text(&findings)
+    );
+}

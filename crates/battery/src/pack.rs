@@ -1,7 +1,7 @@
 //! Battery pack specifications and the Peukert runtime law.
 
 use crate::Chemistry;
-use dcb_units::{Seconds, WattHours, Watts};
+use dcb_units::{contract, Seconds, WattHours, Watts};
 
 /// The static specification of a battery pack: rated power, runtime at rated
 /// power, and chemistry.
@@ -105,7 +105,12 @@ impl PackSpec {
             return Seconds::new(f64::INFINITY);
         }
         let ratio = self.rated_power.value() / load.value();
-        self.rated_runtime * ratio.powf(self.chemistry.peukert_exponent())
+        let runtime = self.rated_runtime * ratio.powf(self.chemistry.peukert_exponent());
+        contract!(
+            runtime.value() >= 0.0,
+            "Peukert runtime must be non-negative, got {runtime} at load {load}"
+        );
+        runtime
     }
 
     /// Energy actually delivered when drained at a constant `load`:
@@ -117,7 +122,12 @@ impl PackSpec {
         if load.value() <= 0.0 {
             return WattHours::ZERO;
         }
-        load * self.runtime_at(load)
+        let energy = load * self.runtime_at(load);
+        contract!(
+            energy.value() >= 0.0,
+            "delivered energy must be non-negative, got {energy} at load {load}"
+        );
+        energy
     }
 
     /// Scales the pack's rated power, keeping the rated runtime — models

@@ -1,7 +1,7 @@
 //! Stateful battery discharge under time-varying load.
 
 use crate::PackSpec;
-use dcb_units::{Fraction, Seconds, WattHours, Watts};
+use dcb_units::{contract, Fraction, Seconds, WattHours, Watts};
 
 /// A battery with a state of charge, dischargeable step by step.
 ///
@@ -114,6 +114,35 @@ impl Battery {
     /// A zero or negative load sustains the full interval for free.
     #[must_use]
     pub fn draw(&mut self, load: Watts, interval: Seconds) -> DrawOutcome {
+        let outcome = self.draw_inner(load, interval);
+        // Model contracts: SoC bounds, time budget, energy conservation,
+        // and monotone wear (see `dcb_units::contracts`).
+        contract!(
+            (0.0..=1.0).contains(&self.charge.value()),
+            "state of charge left [0,1]: {}",
+            self.charge.value()
+        );
+        contract!(
+            outcome.sustained.value() >= 0.0
+                && outcome.sustained.value() <= interval.value().max(0.0) + 1e-9,
+            "sustained {} exceeds requested interval {interval}",
+            outcome.sustained
+        );
+        let expected = (load.value().max(0.0) * outcome.sustained.value() / 3600.0).max(0.0);
+        contract!(
+            (outcome.energy_delivered.value() - expected).abs() <= expected.abs() * 1e-9 + 1e-9,
+            "energy conservation violated: delivered {} but load x time = {expected} Wh",
+            outcome.energy_delivered
+        );
+        contract!(
+            self.cycles >= 0.0,
+            "equivalent cycles went negative: {}",
+            self.cycles
+        );
+        outcome
+    }
+
+    fn draw_inner(&mut self, load: Watts, interval: Seconds) -> DrawOutcome {
         if interval.value() <= 0.0 {
             return DrawOutcome {
                 sustained: Seconds::ZERO,

@@ -296,12 +296,13 @@ pub fn fig10() -> String {
     let _ = writeln!(
         out,
         "  loss rate: ${:.3}/kW/min revenue + ${:.4}/kW/min depreciation",
-        tco.revenue_per_kw_min, tco.depreciation_per_kw_min
+        tco.revenue_per_kw_min.value(),
+        tco.depreciation_per_kw_min.value()
     );
     let _ = writeln!(
         out,
         "  DG cost line: ${:.1}/kW/yr",
-        tco.dg_savings_per_kw_year()
+        tco.dg_savings_per_kw_year().value()
     );
     let _ = writeln!(out, "  {:>10} {:>14}  ", "min/yr", "loss $/kW/yr");
     for (minutes, loss) in tco.curve(500.0, 11) {
@@ -314,8 +315,8 @@ pub fn fig10() -> String {
             out,
             "  {:>10.0} {:>14.1}  {} {}",
             minutes,
-            loss,
-            bar(loss, 150.0, 28),
+            loss.value(),
+            bar(loss.value(), 150.0, 28),
             marker
         );
     }

@@ -13,7 +13,7 @@ use crate::fleet;
 use dcb_outage::OutageSampler;
 use dcb_power::BackupConfig;
 use dcb_sim::{Cluster, OutageSim, Technique};
-use dcb_units::{Fraction, Seconds};
+use dcb_units::{contract, Fraction, Seconds};
 
 /// Aggregated availability statistics for one (configuration, technique)
 /// choice.
@@ -107,10 +107,25 @@ pub fn analyze(
         availability_sum += availability;
         yearly_downtime.push(downtime);
     }
-    yearly_downtime.sort_by(|a, b| a.partial_cmp(b).expect("downtime is finite"));
+    yearly_downtime.sort_by(Seconds::total_cmp);
     let mean_yearly_downtime = yearly_downtime.iter().copied().sum::<Seconds>() / years as f64;
     let p95 = yearly_downtime[((years - 1) as f64 * 0.95) as usize];
-    let mean_availability = Fraction::new(availability_sum / years as f64);
+    // Probability bounds: a per-year availability is a fraction of the
+    // year, so the mean must land in [0, 1] *before* Fraction clamps it.
+    let raw_mean = availability_sum / years as f64;
+    contract!(
+        (-1e-12..=1.0 + 1e-12).contains(&raw_mean),
+        "mean availability left [0,1]: {raw_mean}"
+    );
+    contract!(
+        losses <= outages,
+        "state losses ({losses}) cannot exceed simulated outages ({outages})"
+    );
+    contract!(
+        mean_yearly_downtime.value() >= 0.0 && p95.value() >= 0.0,
+        "downtime must be non-negative: mean {mean_yearly_downtime}, p95 {p95}"
+    );
+    let mean_availability = Fraction::new(raw_mean);
     let unavailability = 1.0 - mean_availability.value();
     AvailabilityReport {
         config: config.label().to_owned(),
@@ -149,7 +164,7 @@ pub fn frontier(
     let mut reports = fleet::pool().run_all(candidates, |(config, technique)| {
         analyze(cluster, config, technique, years, seed)
     });
-    reports.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"));
+    reports.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     reports
 }
 

@@ -3,7 +3,8 @@
 use dcb_battery::Chemistry;
 use dcb_power::BackupConfig;
 use dcb_units::{
-    DollarsPerKwYear, DollarsPerKwhYear, DollarsPerYear, KilowattHours, Kilowatts, Seconds, Watts,
+    contract, DollarsPerKwYear, DollarsPerKwhYear, DollarsPerYear, KilowattHours, Kilowatts,
+    Seconds, Watts,
 };
 
 /// The per-unit cost parameters of Table 1.
@@ -159,6 +160,20 @@ impl CostModel {
         let billable = (energy_capacity - free_energy).max(KilowattHours::ZERO);
         let ups_energy = params.ups_energy * billable;
 
+        // A backup-capacity price is a depreciated cap-ex: each component
+        // must be a finite, non-negative $/yr.
+        contract!(
+            dg.value() >= 0.0 && dg.value().is_finite(),
+            "DG cost component invalid: {dg}"
+        );
+        contract!(
+            ups_power.value() >= 0.0 && ups_power.value().is_finite(),
+            "UPS power cost component invalid: {ups_power}"
+        );
+        contract!(
+            ups_energy.value() >= 0.0 && ups_energy.value().is_finite(),
+            "UPS energy cost component invalid: {ups_energy}"
+        );
         CostBreakdown {
             dg,
             ups_power,
@@ -204,6 +219,12 @@ impl Normalizer {
             .annual_cost(&BackupConfig::max_perf(), reference_peak)
             .total()
             .value();
+        // The MaxPerf baseline divides every normalized cost: it must be a
+        // strictly positive, finite dollar figure.
+        contract!(
+            baseline > 0.0 && baseline.is_finite(),
+            "MaxPerf baseline must be positive and finite, got {baseline}"
+        );
         Self {
             model,
             reference_peak,
@@ -220,11 +241,27 @@ impl Normalizer {
     /// Cost of `config` relative to the precomputed `MaxPerf` baseline.
     #[must_use]
     pub fn normalized_cost(&self, config: &BackupConfig) -> f64 {
-        self.model
+        let normalized = self
+            .model
             .annual_cost(config, self.reference_peak)
             .total()
             .value()
-            / self.baseline
+            / self.baseline;
+        contract!(
+            normalized >= 0.0 && normalized.is_finite(),
+            "normalized cost must be finite and >= 0, got {normalized} for {}",
+            config.label()
+        );
+        normalized
+    }
+
+    /// Normalizer idempotence check: the baseline configuration normalizes
+    /// to exactly 1 under its own normalizer. `audit sweep` exercises this
+    /// for every cost model it touches.
+    #[must_use]
+    pub fn is_idempotent(&self) -> bool {
+        let unit = self.normalized_cost(&BackupConfig::max_perf());
+        (unit - 1.0).abs() < 1e-12
     }
 }
 

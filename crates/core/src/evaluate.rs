@@ -91,10 +91,21 @@ pub fn evaluate(
 /// The best-ranked point of a non-empty, order-significant slice: ties go
 /// to the earliest point, matching the serial `min_by` reference.
 fn pick_best(points: &[Performability]) -> &Performability {
-    points
-        .iter()
-        .min_by(|a, b| a.rank().partial_cmp(&b.rank()).expect("ranks are finite"))
-        .expect("technique catalog must not be empty")
+    let better = |a: &Performability, b: &Performability| {
+        let (ca, la) = a.rank();
+        let (cb, lb) = b.rank();
+        ca.cmp(&cb).then_with(|| la.total_cmp(&lb)).is_le()
+    };
+    let mut best = points
+        .first()
+        // dcb-audit: allow(panic-site, callers assert non-empty catalogs; documented `# Panics`)
+        .expect("technique catalog must not be empty");
+    for point in &points[1..] {
+        if !better(best, point) {
+            best = point;
+        }
+    }
+    best
 }
 
 /// Evaluates every technique in `catalog` and returns the best one for the

@@ -13,7 +13,7 @@ use crate::fleet;
 use crate::sizing::{min_cost_ups, SizedPoint, SizingTargets};
 use dcb_power::BackupConfig;
 use dcb_sim::{Cluster, Technique};
-use dcb_units::{Seconds, Watts};
+use dcb_units::{DollarsPerYear, Seconds, Watts};
 
 /// A per-application service-level objective for outage handling.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -63,9 +63,9 @@ pub struct PlanEntry {
     /// candidate met the SLO.
     pub point: Option<SizedPoint>,
     /// Absolute yearly cost of the chosen configuration for this section.
-    pub yearly_cost_dollars: f64,
+    pub yearly_cost: DollarsPerYear,
     /// Yearly cost had the section used today's full backup (MaxPerf).
-    pub max_perf_cost_dollars: f64,
+    pub max_perf_cost: DollarsPerYear,
 }
 
 /// The full heterogeneous plan.
@@ -84,24 +84,24 @@ impl Plan {
 
     /// Total yearly cost across satisfied sections.
     #[must_use]
-    pub fn total_cost_dollars(&self) -> f64 {
-        self.entries.iter().map(|e| e.yearly_cost_dollars).sum()
+    pub fn total_cost(&self) -> DollarsPerYear {
+        self.entries.iter().map(|e| e.yearly_cost).sum()
     }
 
     /// Total cost had every section provisioned MaxPerf.
     #[must_use]
-    pub fn max_perf_cost_dollars(&self) -> f64 {
-        self.entries.iter().map(|e| e.max_perf_cost_dollars).sum()
+    pub fn max_perf_cost(&self) -> DollarsPerYear {
+        self.entries.iter().map(|e| e.max_perf_cost).sum()
     }
 
     /// Blended savings fraction versus provisioning MaxPerf everywhere.
     #[must_use]
     pub fn savings_fraction(&self) -> f64 {
-        let baseline = self.max_perf_cost_dollars();
-        if baseline <= 0.0 {
+        let baseline = self.max_perf_cost();
+        if !baseline.is_positive() {
             return 0.0;
         }
-        1.0 - self.total_cost_dollars() / baseline
+        1.0 - self.total_cost() / baseline
     }
 }
 
@@ -114,17 +114,14 @@ impl Plan {
 pub fn plan_section(cluster: &Cluster, slo: &Slo, catalog: &[Technique]) -> PlanEntry {
     let model = CostModel::paper();
     let peak: Watts = cluster.peak_power();
-    let max_perf_cost = model
-        .annual_cost(&BackupConfig::max_perf(), peak)
-        .total()
-        .value();
+    let max_perf_cost = model.annual_cost(&BackupConfig::max_perf(), peak).total();
     let sized = fleet::pool().run_all(catalog, |technique| {
         min_cost_ups(cluster, technique, slo.cover_outage, &slo.targets).map(|point| {
-            let cost = model.annual_cost(&point.config, peak).total().value();
+            let cost = model.annual_cost(&point.config, peak).total();
             (cost, point)
         })
     });
-    let mut best: Option<(f64, Technique, SizedPoint)> = None;
+    let mut best: Option<(DollarsPerYear, Technique, SizedPoint)> = None;
     for (technique, candidate) in catalog.iter().zip(sized) {
         if let Some((cost, point)) = candidate {
             if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
@@ -138,8 +135,8 @@ pub fn plan_section(cluster: &Cluster, slo: &Slo, catalog: &[Technique]) -> Plan
             technique: technique.name().to_owned(),
             chosen_technique: Some(technique),
             point: Some(point),
-            yearly_cost_dollars: cost,
-            max_perf_cost_dollars: max_perf_cost,
+            yearly_cost: cost,
+            max_perf_cost,
         },
         None => PlanEntry {
             workload: cluster.workload().kind().to_string(),
@@ -147,8 +144,8 @@ pub fn plan_section(cluster: &Cluster, slo: &Slo, catalog: &[Technique]) -> Plan
             chosen_technique: None,
             point: None,
             // Fall back to full provisioning for unsatisfiable sections.
-            yearly_cost_dollars: max_perf_cost,
-            max_perf_cost_dollars: max_perf_cost,
+            yearly_cost: max_perf_cost,
+            max_perf_cost,
         },
     }
 }
@@ -231,7 +228,7 @@ mod tests {
             &Slo::survive(Seconds::from_minutes(10.0)).with_min_perf(0.9),
             &small_catalog(),
         );
-        assert!(strict.yearly_cost_dollars >= lax.yearly_cost_dollars);
+        assert!(strict.yearly_cost >= lax.yearly_cost);
     }
 
     #[test]
@@ -244,7 +241,7 @@ mod tests {
             .with_max_downtime(Seconds::ZERO);
         let entry = plan_section(&cluster, &slo, &small_catalog());
         assert!(entry.point.is_none());
-        assert_eq!(entry.yearly_cost_dollars, entry.max_perf_cost_dollars);
+        assert_eq!(entry.yearly_cost, entry.max_perf_cost);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! Figure 10).
 
 use crate::cost::CostParams;
+use dcb_units::{contract, Dollars, DollarsPerKwMin, DollarsPerKwYear, Kilowatts, Watts, Years};
 
 /// The TCO model of §7: during an outage the operator loses revenue and
 /// wastes server depreciation; not provisioning DGs saves their amortized
@@ -20,11 +21,11 @@ use crate::cost::CostParams;
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TcoModel {
     /// Revenue lost per kW of datacenter capacity per minute of outage.
-    pub revenue_per_kw_min: f64,
+    pub revenue_per_kw_min: DollarsPerKwMin,
     /// Server capital depreciation wasted per kW per minute of outage.
-    pub depreciation_per_kw_min: f64,
+    pub depreciation_per_kw_min: DollarsPerKwMin,
     /// Amortized DG cost saved per kW per year by not provisioning it.
-    pub dg_cost_per_kw_year: f64,
+    pub dg_cost_per_kw_year: DollarsPerKwYear,
 }
 
 impl TcoModel {
@@ -37,7 +38,13 @@ impl TcoModel {
     /// and the Table 1 DG cost.
     #[must_use]
     pub fn google_2011() -> Self {
-        Self::from_organization(38e9, 260_000.0, 2_000.0, 4.0, 250.0)
+        Self::from_organization(
+            Dollars::new(38e9),
+            Kilowatts::new(260_000.0),
+            Dollars::new(2_000.0),
+            Years::new(4.0),
+            Watts::new(250.0),
+        )
     }
 
     /// Builds the model from raw organizational figures.
@@ -47,47 +54,51 @@ impl TcoModel {
     /// Panics if any figure is non-positive.
     #[must_use]
     pub fn from_organization(
-        yearly_revenue_dollars: f64,
-        capacity_kw: f64,
-        server_cost_dollars: f64,
-        server_lifetime_years: f64,
-        server_power_watts: f64,
+        yearly_revenue: Dollars,
+        capacity: Kilowatts,
+        server_cost: Dollars,
+        server_lifetime: Years,
+        server_power: Watts,
     ) -> Self {
         assert!(
-            yearly_revenue_dollars > 0.0
-                && capacity_kw > 0.0
-                && server_cost_dollars > 0.0
-                && server_lifetime_years > 0.0
-                && server_power_watts > 0.0,
+            yearly_revenue.is_positive()
+                && capacity.is_positive()
+                && server_cost.is_positive()
+                && server_lifetime.is_positive()
+                && server_power.is_positive(),
             "all organizational figures must be positive"
         );
-        let revenue_per_kw_min = yearly_revenue_dollars / capacity_kw / Self::MINUTES_PER_YEAR;
-        let servers_per_kw = 1000.0 / server_power_watts;
-        let depreciation_per_kw_min =
-            server_cost_dollars * servers_per_kw / server_lifetime_years / Self::MINUTES_PER_YEAR;
+        let revenue_per_kw_min = DollarsPerKwMin::new(
+            yearly_revenue.value() / capacity.value() / Self::MINUTES_PER_YEAR,
+        );
+        let servers_per_kw = 1000.0 / server_power.value();
+        let depreciation_per_kw_min = DollarsPerKwMin::new(
+            server_cost.amortize(server_lifetime).value() * servers_per_kw / Self::MINUTES_PER_YEAR,
+        );
         Self {
             revenue_per_kw_min,
             depreciation_per_kw_min,
-            dg_cost_per_kw_year: CostParams::paper().dg_power.value(),
+            dg_cost_per_kw_year: CostParams::paper().dg_power,
         }
     }
 
     /// Combined loss rate per kW-minute of unavailability.
     #[must_use]
-    pub fn loss_per_kw_min(&self) -> f64 {
+    pub fn loss_per_kw_min(&self) -> DollarsPerKwMin {
         self.revenue_per_kw_min + self.depreciation_per_kw_min
     }
 
-    /// Yearly outage cost (`$/kW/year`) for a given yearly outage duration
-    /// — the rising line of Figure 10.
+    /// Yearly outage cost for a given yearly outage duration — the rising
+    /// line of Figure 10.
     #[must_use]
-    pub fn outage_cost_per_kw_year(&self, outage_minutes_per_year: f64) -> f64 {
-        self.loss_per_kw_min() * outage_minutes_per_year.max(0.0)
+    pub fn outage_cost_per_kw_year(&self, outage_minutes_per_year: f64) -> DollarsPerKwYear {
+        self.loss_per_kw_min()
+            .over_minutes_per_year(outage_minutes_per_year.max(0.0))
     }
 
     /// The horizontal "Cost of DG" line of Figure 10.
     #[must_use]
-    pub fn dg_savings_per_kw_year(&self) -> f64 {
+    pub fn dg_savings_per_kw_year(&self) -> DollarsPerKwYear {
         self.dg_cost_per_kw_year
     }
 
@@ -95,7 +106,12 @@ impl TcoModel {
     /// savings — left of this, underprovisioning is profitable.
     #[must_use]
     pub fn breakeven_minutes_per_year(&self) -> f64 {
-        self.dg_cost_per_kw_year / self.loss_per_kw_min()
+        let breakeven = self.dg_cost_per_kw_year.value() / self.loss_per_kw_min().value();
+        contract!(
+            breakeven >= 0.0,
+            "break-even minutes cannot be negative: {breakeven}"
+        );
+        breakeven
     }
 
     /// Whether skipping the DG is profitable at a given yearly outage
@@ -112,7 +128,7 @@ impl TcoModel {
     ///
     /// Panics if `points < 2`.
     #[must_use]
-    pub fn curve(&self, max_minutes: f64, points: usize) -> Vec<(f64, f64)> {
+    pub fn curve(&self, max_minutes: f64, points: usize) -> Vec<(f64, DollarsPerKwYear)> {
         assert!(points >= 2, "a curve needs at least two points");
         (0..points)
             .map(|i| {
@@ -133,7 +149,7 @@ mod tests {
         // §7: "$0.28/KW/min".
         let m = TcoModel::google_2011();
         assert!(
-            (m.revenue_per_kw_min - 0.28).abs() < 0.005,
+            (m.revenue_per_kw_min.value() - 0.28).abs() < 0.005,
             "{}",
             m.revenue_per_kw_min
         );
@@ -144,7 +160,7 @@ mod tests {
         // §7: "$0.003/KW/min".
         let m = TcoModel::google_2011();
         assert!(
-            (m.depreciation_per_kw_min - 0.003).abs() < 0.001,
+            (m.depreciation_per_kw_min.value() - 0.003).abs() < 0.001,
             "{}",
             m.depreciation_per_kw_min
         );
@@ -164,14 +180,20 @@ mod tests {
         let m = TcoModel::google_2011();
         let curve = m.curve(500.0, 11);
         assert_eq!(curve.len(), 11);
-        assert_eq!(curve[0], (0.0, 0.0));
+        assert_eq!(curve[0], (0.0, DollarsPerKwYear::ZERO));
         assert!((curve[10].0 - 500.0).abs() < 1e-9);
     }
 
     #[test]
     #[should_panic(expected = "must be positive")]
     fn zero_capacity_rejected() {
-        let _ = TcoModel::from_organization(1e9, 0.0, 2000.0, 4.0, 250.0);
+        let _ = TcoModel::from_organization(
+            Dollars::new(1e9),
+            Kilowatts::ZERO,
+            Dollars::new(2000.0),
+            Years::new(4.0),
+            Watts::new(250.0),
+        );
     }
 
     proptest! {
@@ -187,7 +209,11 @@ mod tests {
         fn breakeven_scales_inversely_with_revenue(factor in 0.5f64..4.0) {
             let base = TcoModel::google_2011();
             let richer = TcoModel::from_organization(
-                38e9 * factor, 260_000.0, 2_000.0, 4.0, 250.0,
+                Dollars::new(38e9 * factor),
+                Kilowatts::new(260_000.0),
+                Dollars::new(2_000.0),
+                Years::new(4.0),
+                Watts::new(250.0),
             );
             if factor > 1.0 {
                 prop_assert!(

@@ -2,7 +2,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a shard, recovering from poisoning: cached values are only ever
+/// written whole (a panicked writer leaves either the old map or the new
+/// entry, never a torn value), so the poison flag carries no information
+/// here and recovery is always safe.
+fn lock_shard<V>(shard: &Mutex<HashMap<u128, V>>) -> MutexGuard<'_, HashMap<u128, V>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A sharded, thread-safe memoization map keyed by 128-bit stable digests
 /// (see [`crate::Scenario::digest`] and [`crate::stable_digest`]).
@@ -81,19 +89,12 @@ impl<V: Clone> EvalCache<V> {
     /// The cached value for `key`, if any.
     #[must_use]
     pub fn get(&self, key: u128) -> Option<V> {
-        self.shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(&key)
-            .cloned()
+        lock_shard(self.shard(key)).get(&key).cloned()
     }
 
     /// Stores a value, overwriting any previous entry.
     pub fn insert(&self, key: u128, value: V) {
-        self.shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .insert(key, value);
+        lock_shard(self.shard(key)).insert(key, value);
     }
 
     /// Returns the cached value for `key`, computing and caching it on a
@@ -105,9 +106,7 @@ impl<V: Clone> EvalCache<V> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
-        self.shard(key)
-            .lock()
-            .expect("cache shard poisoned")
+        lock_shard(self.shard(key))
             .entry(key)
             .or_insert_with(|| value.clone());
         value
@@ -118,7 +117,7 @@ impl<V: Clone> EvalCache<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|shard| shard.lock().expect("cache shard poisoned").len())
+            .map(|shard| lock_shard(shard).len())
             .sum()
     }
 
@@ -131,7 +130,7 @@ impl<V: Clone> EvalCache<V> {
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            lock_shard(shard).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);

@@ -69,6 +69,7 @@ impl StableHasher {
                 Ok(())
             }
         }
+        // dcb-audit: allow(panic-site, Absorb::write_str is infallible so write! cannot fail)
         write!(Absorb(self), "{value:?}").expect("Debug formatting never fails");
         self.write_bytes(&[0xFE]);
     }

@@ -95,6 +95,7 @@ impl FleetPool {
                 })
                 .collect();
             for handle in handles {
+                // dcb-audit: allow(panic-site, deliberate worker-panic propagation to the caller)
                 harvested.extend(handle.join().expect("fleet worker panicked"));
             }
         });

@@ -1,0 +1,150 @@
+//! Race/interleaving stress: hammer the pool and the shared cache with
+//! float-producing workloads across every `DCB_THREADS` setting from 1 to
+//! 8 and assert bit-identical results against the serial reference
+//! (`f64::to_bits`, not approximate equality).
+
+use dcb_fleet::{EvalCache, FleetPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A float workload with enough arithmetic to expose any reordering:
+/// a short chaotic (logistic-map) iteration seeded by the index.
+fn chaotic(index: u64) -> f64 {
+    let mut x = (index as f64 + 0.5) / 1e4 % 1.0;
+    for _ in 0..64 {
+        x = 3.999 * x * (1.0 - x);
+    }
+    x
+}
+
+#[test]
+fn dcb_threads_sweep_is_bit_identical_to_serial() {
+    // DCB_THREADS is read per `FleetPool::new()` call, so mutating it and
+    // constructing a fresh pool inside this one test is safe: integration
+    // tests run in their own process, and nothing else in this file
+    // touches the variable.
+    let items: Vec<u64> = (0..997).collect();
+    let reference: Vec<u64> = items.iter().map(|&i| chaotic(i).to_bits()).collect();
+    for threads in 1..=8 {
+        std::env::set_var("DCB_THREADS", threads.to_string());
+        let pool = FleetPool::new();
+        assert_eq!(pool.threads(), threads, "DCB_THREADS={threads} not honored");
+        for round in 0..4 {
+            let got: Vec<u64> = pool
+                .run_all(&items, |&i| chaotic(i))
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(
+                got, reference,
+                "bits diverged at DCB_THREADS={threads}, round {round}"
+            );
+        }
+    }
+    std::env::remove_var("DCB_THREADS");
+}
+
+#[test]
+fn shared_cache_under_contention_computes_each_key_once_per_value() {
+    // 8 workers × 200 lookups over only 50 hot keys: heavy shard
+    // contention. Values must stay bit-stable and every key must resolve
+    // to the same value on every thread.
+    let cache: EvalCache<f64> = EvalCache::new();
+    let computes = AtomicU64::new(0);
+    let pool = FleetPool::with_threads(8);
+    let lookups: Vec<u64> = (0..1600).map(|i| i % 50).collect();
+    let results = pool.run_all(&lookups, |&key| {
+        cache.get_or_compute(u128::from(key), || {
+            computes.fetch_add(1, Ordering::Relaxed);
+            chaotic(key)
+        })
+    });
+    for (&key, &value) in lookups.iter().zip(&results) {
+        assert_eq!(
+            value.to_bits(),
+            chaotic(key).to_bits(),
+            "cache returned a different value for key {key}"
+        );
+    }
+    assert_eq!(cache.len(), 50);
+    // `get_or_compute` races compute outside the lock, so a key may be
+    // computed more than once under contention — but never unboundedly
+    // (at most once per concurrent looker), and the cached value must
+    // make every later lookup a hit.
+    let computed = computes.load(Ordering::Relaxed);
+    assert!((50..=400).contains(&computed), "{computed} computes");
+    let stats = cache.stats();
+    assert_eq!(stats.hits + stats.misses, 1600);
+    assert!(stats.hits >= 1200, "only {} hits", stats.hits);
+}
+
+#[test]
+fn repeated_batches_reuse_the_cache_deterministically() {
+    // Re-running the same batch through one shared cache must return the
+    // original bits: later rounds are pure hits, never recomputation with
+    // drifted state.
+    let cache: EvalCache<f64> = EvalCache::new();
+    let items: Vec<u64> = (0..300).collect();
+    let first: Vec<u64> = FleetPool::with_threads(5)
+        .run_all(&items, |&i| {
+            cache.get_or_compute(u128::from(i), || chaotic(i))
+        })
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    for threads in [1usize, 3, 8] {
+        let again: Vec<u64> = FleetPool::with_threads(threads)
+            .run_all(&items, |&i| {
+                cache.get_or_compute(u128::from(i), || chaotic(i) + 1.0)
+            })
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(again, first, "cache bypassed at {threads} threads");
+    }
+    assert_eq!(cache.len(), 300);
+}
+
+#[test]
+fn monte_carlo_stays_sharded_and_stable_under_stress() {
+    let reference = FleetPool::with_threads(1)
+        .monte_carlo(42, 511, 1, |t| chaotic(t.seed ^ t.index as u64).to_bits());
+    for threads in 1..=8 {
+        for shards in [0usize, 3, 17, 511] {
+            let got = FleetPool::with_threads(threads).monte_carlo(42, 511, shards, |t| {
+                chaotic(t.seed ^ t.index as u64).to_bits()
+            });
+            assert_eq!(
+                got, reference,
+                "monte carlo diverged at {threads} threads / {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn nested_fan_out_from_workers_matches_serial() {
+    // A worker closure that itself calls run_all must run the inner batch
+    // inline (no thread explosion) and still produce identical bits.
+    let inner_items: Vec<u64> = (0..37).collect();
+    let reference: Vec<u64> = (0..23u64)
+        .map(|outer| {
+            inner_items
+                .iter()
+                .map(|&i| chaotic(outer.wrapping_mul(31) ^ i))
+                .sum::<f64>()
+                .to_bits()
+        })
+        .collect();
+    let outer_items: Vec<u64> = (0..23).collect();
+    let pool = FleetPool::with_threads(8);
+    let got: Vec<u64> = pool
+        .run_all(&outer_items, |&outer| {
+            pool.run_all(&inner_items, |&i| chaotic(outer.wrapping_mul(31) ^ i))
+                .into_iter()
+                .sum::<f64>()
+        })
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    assert_eq!(got, reference);
+}

@@ -46,7 +46,7 @@ impl OutageTrace {
     /// Panics if any two outages overlap after sorting.
     #[must_use]
     pub fn new(mut outages: Vec<Outage>) -> Self {
-        outages.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("no NaN starts"));
+        outages.sort_by(|a, b| a.start.total_cmp(&b.start));
         for pair in outages.windows(2) {
             assert!(
                 pair[0].end() <= pair[1].start,
@@ -85,11 +85,10 @@ impl OutageTrace {
     /// The longest single outage, if any.
     #[must_use]
     pub fn longest(&self) -> Option<Outage> {
-        self.outages.iter().copied().max_by(|a, b| {
-            a.duration
-                .partial_cmp(&b.duration)
-                .expect("no NaN durations")
-        })
+        self.outages
+            .iter()
+            .copied()
+            .max_by(|a, b| a.duration.total_cmp(&b.duration))
     }
 }
 
@@ -152,8 +151,8 @@ impl OutageSampler {
     /// year, each with a sampled duration.
     pub fn sample_year(&mut self) -> OutageTrace {
         let u: f64 = self.rng.random();
-        let w: f64 = self.rng.random();
-        let count = self.frequency.quantile(u, w);
+        let v: f64 = self.rng.random();
+        let count = self.frequency.quantile(u, v);
         let year = Seconds::from_hours(365.0 * 24.0);
         let mut outages = Vec::with_capacity(count as usize);
         // Place outages in disjoint slots: divide the year into `count`

@@ -1,6 +1,6 @@
 //! Diesel generator model: start-up delay and load-step ramp.
 
-use dcb_units::{Seconds, Watts};
+use dcb_units::{contract, Seconds, Watts};
 
 /// A diesel generator (bank) with its start-up behaviour.
 ///
@@ -124,7 +124,14 @@ impl DieselGenerator {
         if ramp.value() <= 0.0 {
             return self.power_capacity;
         }
-        self.power_capacity * ((elapsed - self.start_delay) / ramp)
+        let power = self.power_capacity * ((elapsed - self.start_delay) / ramp);
+        // Ramp-phase bound: the load-step ramp never under- or overshoots.
+        contract!(
+            power.value() >= 0.0 && power <= self.power_capacity,
+            "DG ramp power {power} outside [0, {}] at elapsed {elapsed}",
+            self.power_capacity
+        );
+        power
     }
 }
 

@@ -1,7 +1,7 @@
 //! Offline UPS units with Peukert batteries.
 
 use dcb_battery::{Battery, Chemistry, PackSpec};
-use dcb_units::{Fraction, Seconds, WattHours, Watts};
+use dcb_units::{contract, Fraction, Seconds, WattHours, Watts};
 
 /// A rack-level offline UPS: power electronics rated for a peak load plus a
 /// battery pack.
@@ -123,7 +123,25 @@ impl Ups {
                 energy_delivered: WattHours::ZERO,
             };
         }
-        self.battery.draw(load, interval)
+        let outcome = self.battery.draw(load, interval);
+        // Non-negative draw: a UPS never sources negative time or energy,
+        // and never delivers more than its electronics rating allows over
+        // the sustained window.
+        contract!(
+            outcome.sustained.value() >= 0.0 && outcome.energy_delivered.value() >= 0.0,
+            "UPS draw produced negative outcome: sustained {}, energy {}",
+            outcome.sustained,
+            outcome.energy_delivered
+        );
+        contract!(
+            outcome.energy_delivered.value()
+                <= self.power_capacity.value() * outcome.sustained.value() / 3600.0 + 1e-9,
+            "UPS delivered {} Wh, above rating {} for {}",
+            outcome.energy_delivered.value(),
+            self.power_capacity,
+            outcome.sustained
+        );
+        outcome
     }
 
     /// Recharges the battery (utility restored).

@@ -30,7 +30,7 @@ pub struct ServerSpec {
 impl ServerSpec {
     /// The paper's measured sleep draw: "around 5W per server" in S3 with
     /// DRAM in self-refresh (§6.2).
-    pub const SLEEP_POWER_W: f64 = 5.0;
+    pub const SLEEP_POWER: Watts = Watts::literal(5.0);
 
     /// Inherent power-supply capacitance ride-through after a failure
     /// (~30 ms, §3) — long enough to cover the ~10 ms offline-UPS switch.
@@ -42,7 +42,7 @@ impl ServerSpec {
         Self {
             idle_power: Watts::new(80.0),
             peak_power: Watts::new(250.0),
-            sleep_power: Watts::new(Self::SLEEP_POWER_W),
+            sleep_power: Self::SLEEP_POWER,
             memory: Gigabytes::new(64.0),
             // Calibrated so Specjbb's 18 GB hibernation takes the paper's
             // measured 230 s to save and 157 s to resume (Table 8).

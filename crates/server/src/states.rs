@@ -191,8 +191,7 @@ impl ThrottleLevel {
             .filter(|l| l.effective_speed().value() + 1e-12 >= min_speed)
             .min_by(|a, b| {
                 a.dynamic_power_factor()
-                    .partial_cmp(&b.dynamic_power_factor())
-                    .expect("power factors are finite")
+                    .total_cmp(&b.dynamic_power_factor())
             })
             .unwrap_or(Self::NONE)
     }

@@ -29,11 +29,26 @@ quantity! {
     KilowattHours, "kWh"
 }
 
+/// Joules per watt-hour (1 Wh = 3600 J exactly).
+const JOULES_PER_WATT_HOUR: f64 = 3600.0;
+
 impl WattHours {
     /// Converts to kilowatt-hours.
     #[must_use]
     pub fn to_kilowatt_hours(self) -> KilowattHours {
         KilowattHours::new(self.value() / 1000.0)
+    }
+
+    /// Creates an energy from joules (1 Wh = 3600 J).
+    #[must_use]
+    pub fn from_joules(joules: f64) -> Self {
+        Self::new(joules / JOULES_PER_WATT_HOUR)
+    }
+
+    /// Converts to joules (1 Wh = 3600 J).
+    #[must_use]
+    pub fn to_joules(self) -> f64 {
+        self.value() * JOULES_PER_WATT_HOUR
     }
 
     /// How long this much energy lasts at a constant `load`, assuming an

@@ -90,7 +90,14 @@ impl Fraction {
     /// Returns `true` if exactly zero.
     #[must_use]
     pub fn is_zero(self) -> bool {
+        // dcb-audit: allow(float-cmp, exact zero sentinel test)
         self.0 == 0.0
+    }
+
+    /// Total ordering over the underlying value ([`f64::total_cmp`]).
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 
     /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.

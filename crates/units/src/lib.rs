@@ -25,6 +25,8 @@
 #[macro_use]
 mod quantity;
 
+pub mod contracts;
+
 mod data;
 mod energy;
 mod fraction;
@@ -35,7 +37,7 @@ mod time;
 pub use data::{Gigabytes, MegabytesPerSecond};
 pub use energy::{KilowattHours, WattHours};
 pub use fraction::Fraction;
-pub use money::{Dollars, DollarsPerKwYear, DollarsPerKwhYear, DollarsPerYear};
+pub use money::{Dollars, DollarsPerKwMin, DollarsPerKwYear, DollarsPerKwhYear, DollarsPerYear};
 pub use power::{Kilowatts, Watts};
 pub use time::{Minutes, Seconds, Years};
 

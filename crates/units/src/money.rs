@@ -51,6 +51,28 @@ quantity! {
     DollarsPerKwhYear, "$/kWh/yr"
 }
 
+quantity! {
+    /// A per-capacity, per-minute money rate in `$/kW/min` — the unit of
+    /// the paper's TCO analysis (§7): revenue lost and depreciation wasted
+    /// per kW of capacity per minute of unavailability.
+    ///
+    /// ```
+    /// use dcb_units::DollarsPerKwMin;
+    /// let loss = DollarsPerKwMin::new(0.28);
+    /// assert!((loss.value() - 0.28).abs() < 1e-12);
+    /// ```
+    DollarsPerKwMin, "$/kW/min"
+}
+
+impl DollarsPerKwMin {
+    /// Yearly cost rate incurred by this per-minute loss rate over
+    /// `minutes_per_year` minutes of downtime each year.
+    #[must_use]
+    pub fn over_minutes_per_year(self, minutes_per_year: f64) -> DollarsPerKwYear {
+        DollarsPerKwYear::new(self.value() * minutes_per_year)
+    }
+}
+
 impl Dollars {
     /// Amortizes a capital cost linearly over `lifetime`, following the
     /// paper's depreciation model ("We express cap-ex as amortized $/year,

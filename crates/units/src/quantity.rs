@@ -80,7 +80,16 @@ macro_rules! quantity {
             /// Returns `true` if the value is exactly zero.
             #[must_use]
             pub fn is_zero(self) -> bool {
+                // dcb-audit: allow(float-cmp, exact zero sentinel test)
                 self.0 == 0.0
+            }
+
+            /// Total ordering over the underlying value
+            /// ([`f64::total_cmp`]); lets callers sort or take extrema
+            /// without a fallible `partial_cmp` unwrap.
+            #[must_use]
+            pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+                self.0.total_cmp(&other.0)
             }
 
             /// Returns `true` if the value is strictly positive.

@@ -1,0 +1,163 @@
+//! Unit-conversion integration tests: exact anchor points and
+//! property-tested round trips across the power, energy, and time ladders,
+//! plus ordering and arithmetic-closure properties of the quantity
+//! newtypes.
+
+use dcb_units::{KilowattHours, Kilowatts, Minutes, Seconds, WattHours, Watts, Years};
+use proptest::prelude::*;
+
+#[test]
+fn power_ladder_anchor_points() {
+    // W ↔ kW ↔ MW with exactly representable factors of 1000.
+    assert_eq!(Watts::new(1_000.0).to_kilowatts(), Kilowatts::new(1.0));
+    assert_eq!(Kilowatts::new(1.0).to_watts(), Watts::new(1_000.0));
+    assert_eq!(Kilowatts::from_megawatts(1.0), Kilowatts::new(1_000.0));
+    assert_eq!(Kilowatts::new(2_500.0).to_megawatts(), 2.5);
+    assert_eq!(
+        Kilowatts::from_megawatts(10.0).to_watts(),
+        Watts::new(10_000_000.0)
+    );
+}
+
+#[test]
+fn energy_ladder_anchor_points() {
+    // J ↔ Wh ↔ kWh: 1 Wh = 3600 J exactly, 1 kWh = 1000 Wh exactly.
+    assert_eq!(WattHours::from_joules(3_600.0), WattHours::new(1.0));
+    assert_eq!(WattHours::new(1.0).to_joules(), 3_600.0);
+    assert_eq!(
+        KilowattHours::new(1.0).to_watt_hours(),
+        WattHours::new(1_000.0)
+    );
+    assert_eq!(
+        WattHours::new(500.0).to_kilowatt_hours(),
+        KilowattHours::new(0.5)
+    );
+    assert_eq!(KilowattHours::new(1.0).to_watt_hours().to_joules(), 3.6e6);
+}
+
+#[test]
+fn time_ladder_anchor_points() {
+    // s ↔ min ↔ h, plus the year-to-minute constant the TCO model uses.
+    assert_eq!(Seconds::from_minutes(1.0), Seconds::new(60.0));
+    assert_eq!(Seconds::from_hours(1.0), Seconds::new(3_600.0));
+    assert_eq!(Seconds::from_hours(1.5).to_minutes(), 90.0);
+    assert_eq!(Seconds::new(7_200.0).to_hours(), 2.0);
+    assert_eq!(Minutes::new(2.0).to_seconds(), Seconds::new(120.0));
+    assert_eq!(Years::new(1.0).to_minutes(), 525_600.0);
+    assert_eq!(Seconds::from_millis(250.0), Seconds::new(0.25));
+}
+
+#[test]
+fn power_time_energy_dimensional_consistency() {
+    // 250 W for 30 minutes is 125 Wh, both ways round.
+    let load = Watts::new(250.0);
+    let half_hour = Seconds::from_minutes(30.0);
+    assert_eq!(load * half_hour, half_hour * load);
+    assert!(((load * half_hour).value() - 125.0).abs() < 1e-12);
+    // Energy over power recovers the duration.
+    let runtime = WattHours::new(125.0) / load;
+    assert!((runtime.value() - half_hour.value()).abs() < 1e-9);
+}
+
+#[test]
+fn ordering_is_consistent_between_partial_and_total() {
+    let mut durations = vec![
+        Seconds::from_hours(1.0),
+        Seconds::new(1.0),
+        Seconds::from_minutes(1.0),
+        Seconds::ZERO,
+    ];
+    durations.sort_by(Seconds::total_cmp);
+    assert_eq!(
+        durations,
+        vec![
+            Seconds::ZERO,
+            Seconds::new(1.0),
+            Seconds::from_minutes(1.0),
+            Seconds::from_hours(1.0),
+        ]
+    );
+    // PartialOrd agrees with total_cmp on finite values.
+    for pair in durations.windows(2) {
+        assert!(pair[0] <= pair[1]);
+        assert_ne!(pair[0].total_cmp(&pair[1]), std::cmp::Ordering::Greater);
+    }
+    // min/max/clamp respect the same order.
+    let lo = Seconds::new(10.0);
+    let hi = Seconds::new(20.0);
+    assert_eq!(lo.max(hi), hi);
+    assert_eq!(lo.min(hi), lo);
+    assert_eq!(Seconds::new(25.0).clamp(lo, hi), hi);
+}
+
+proptest! {
+    #[test]
+    fn watts_megawatt_round_trip(v in -1e9f64..1e9) {
+        let w = Watts::new(v);
+        let back = Kilowatts::from_megawatts(w.to_kilowatts().to_megawatts()).to_watts();
+        prop_assert!((back.value() - v).abs() <= v.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn joules_kwh_round_trip(v in -1e9f64..1e9) {
+        let e = WattHours::new(v);
+        let via_joules = WattHours::from_joules(e.to_joules());
+        prop_assert!((via_joules.value() - v).abs() <= v.abs() * 1e-12 + 1e-12);
+        let via_kwh = e.to_kilowatt_hours().to_watt_hours();
+        prop_assert!((via_kwh.value() - v).abs() <= v.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn seconds_hours_minutes_round_trip(v in -1e9f64..1e9) {
+        let s = Seconds::new(v);
+        let via_minutes = Seconds::from_minutes(s.to_minutes());
+        let via_hours = Seconds::from_hours(s.to_hours());
+        prop_assert!((via_minutes.value() - v).abs() <= v.abs() * 1e-12 + 1e-9);
+        prop_assert!((via_hours.value() - v).abs() <= v.abs() * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn addition_closure_and_commutativity(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+        let x = Watts::new(a);
+        let y = Watts::new(b);
+        // Same-unit arithmetic stays in the unit and behaves like f64.
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y).value(), a + b);
+        prop_assert_eq!((x - y).value(), a - b);
+        prop_assert_eq!((-x).value(), -a);
+    }
+
+    #[test]
+    fn scaling_closure(a in -1e12f64..1e12, k in -1e3f64..1e3) {
+        let x = WattHours::new(a);
+        prop_assert_eq!((x * k).value(), a * k);
+        if k != 0.0 {
+            let scaled = (x / k).value();
+            prop_assert_eq!(scaled, a / k);
+        }
+    }
+
+    #[test]
+    fn ratio_of_like_quantities_is_dimensionless(a in -1e12f64..1e12, b in 1e-3f64..1e12) {
+        // Div<Self> drops the unit and matches the raw-float ratio.
+        let ratio = Seconds::new(a) / Seconds::new(b);
+        prop_assert_eq!(ratio, a / b);
+    }
+
+    #[test]
+    fn sum_matches_fold(a in -1e9f64..1e9, b in -1e9f64..1e9, c in -1e9f64..1e9) {
+        let values = [a, b, c];
+        let total: Watts = values.iter().map(|&v| Watts::new(v)).sum();
+        let folded = values.iter().sum::<f64>();
+        prop_assert!((total.value() - folded).abs() <= folded.abs() * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn ordering_matches_f64(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+        prop_assert_eq!(Watts::new(a) < Watts::new(b), a < b);
+        prop_assert_eq!(
+            Watts::new(a).total_cmp(&Watts::new(b)),
+            a.total_cmp(&b)
+        );
+    }
+}

@@ -61,15 +61,15 @@ fn main() {
             entry.workload,
             entry.technique,
             sizing,
-            entry.yearly_cost_dollars,
-            entry.max_perf_cost_dollars,
+            entry.yearly_cost.value(),
+            entry.max_perf_cost.value(),
         );
     }
     println!("{}", "-".repeat(88));
     println!(
         "total ${:>.0}/yr vs ${:>.0}/yr for MaxPerf everywhere → {:.0}% savings\n",
-        plan.total_cost_dollars(),
-        plan.max_perf_cost_dollars(),
+        plan.total_cost().value(),
+        plan.max_perf_cost().value(),
         plan.savings_fraction() * 100.0,
     );
 

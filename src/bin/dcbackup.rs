@@ -88,14 +88,16 @@ fn run() -> Result<(), String> {
                 .get(1)
                 .ok_or("usage: dcbackup cost <config> [--peak-mw <MW>]")?;
             let config = find_config(name).ok_or(format!("unknown configuration '{name}'"))?;
-            let mw: f64 = flag_value(&args, "--peak-mw")
-                .map(|v| v.parse().map_err(|_| format!("bad --peak-mw '{v}'")))
-                .transpose()?
-                .unwrap_or(10.0);
+            let peak = Kilowatts::from_megawatts(
+                flag_value(&args, "--peak-mw")
+                    .map(|v| v.parse().map_err(|_| format!("bad --peak-mw '{v}'")))
+                    .transpose()?
+                    .unwrap_or(10.0),
+            );
             let model = CostModel::paper();
-            let breakdown = model.annual_cost(&config, Kilowatts::from_megawatts(mw).to_watts());
+            let breakdown = model.annual_cost(&config, peak.to_watts());
             println!("{config}");
-            println!("  datacenter peak    {mw} MW");
+            println!("  datacenter peak    {} MW", peak.to_megawatts());
             println!("  DG                 ${:>12.0}/yr", breakdown.dg.value());
             println!(
                 "  UPS electronics    ${:>12.0}/yr",

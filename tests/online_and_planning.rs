@@ -117,7 +117,7 @@ fn plan_composes_sizing_and_cost_consistently() {
     ];
     let plan = plan(&sections, &Technique::catalog());
     assert!(plan.fully_satisfied());
-    assert!(plan.total_cost_dollars() < plan.max_perf_cost_dollars());
+    assert!(plan.total_cost() < plan.max_perf_cost());
     assert!(plan.savings_fraction() > 0.0 && plan.savings_fraction() < 1.0);
     for entry in &plan.entries {
         let point = entry.point.as_ref().unwrap();
