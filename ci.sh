@@ -19,6 +19,9 @@ cargo test -q
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== engine bench smoke (event kernel vs stepped oracle)"
+DCB_ENGINE_BENCH_SMOKE=1 cargo bench -q -p dcb-bench --bench engine
+
 echo "== dcb-audit check (workspace invariants)"
 cargo run --release -q -p dcb-audit -- check
 

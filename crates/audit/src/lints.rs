@@ -70,6 +70,14 @@ pub fn all() -> Vec<LintSpec> {
             check: thread_spawn,
         },
         LintSpec {
+            name: "stepped-sim",
+            summary: "the fixed-step oracle (run_stepped and friends) outside crates/sim; production paths go through the event kernel (tests and benches are exempt by role)",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &["sim"],
+            skip_in_test: true,
+            check: stepped_sim,
+        },
+        LintSpec {
             name: "panic-site",
             summary: "unwrap/expect/panic!/todo!/unimplemented! in library code (return Results or document `# Panics` and allow)",
             roles: &[Role::Library],
@@ -296,6 +304,25 @@ fn thread_spawn(tokens: &[Token]) -> Vec<(u32, String)> {
     out
 }
 
+/// `stepped-sim`: any call to the fixed-step differential oracle
+/// (`run_stepped`, `run_with_backup_stepped`, `run_with_backup_stepped_at`)
+/// outside the sim crate itself.
+fn stepped_sim(tokens: &[Token]) -> Vec<(u32, String)> {
+    tokens
+        .iter()
+        .filter_map(|t| {
+            let name = t.kind.ident()?;
+            (name.starts_with("run_stepped") || name.starts_with("run_with_backup_stepped"))
+                .then(|| {
+                    (
+                        t.line,
+                        format!("`{name}` is the differential oracle; production code calls the event kernel (`run`/`run_with_backup`)"),
+                    )
+                })
+        })
+        .collect()
+}
+
 /// `panic-site`: `.unwrap(`, `.expect(`, `panic!`, `todo!`,
 /// `unimplemented!` in library code.
 fn panic_site(tokens: &[Token]) -> Vec<(u32, String)> {
@@ -373,6 +400,26 @@ mod tests {
         assert_eq!(check("fn f() { thread::spawn(|| {}); }").len(), 1);
         // thread::sleep is not a spawn.
         assert!(check("fn f() { thread::sleep(d); }").is_empty());
+    }
+
+    #[test]
+    fn stepped_sim_oracle_calls() {
+        assert_eq!(check("fn f() { sim.run_stepped(d); }").len(), 1);
+        assert_eq!(
+            check("fn f() { sim.run_with_backup_stepped_at(d, &mut b, dt); }").len(),
+            1
+        );
+        // The kernel entry points are what production code should call.
+        assert!(check("fn f() { sim.run(d); }").is_empty());
+        assert!(check("fn f() { sim.run_with_backup(d, &mut b); }").is_empty());
+        // Inside crates/sim the oracle is at home.
+        let mut f = lib_file();
+        f.crate_name = "sim".to_owned();
+        assert!(check_file(&f, &scan("fn f() { sim.run_stepped(d); }")).is_empty());
+        // Benches are exempt by role (they measure the oracle on purpose).
+        let mut f = lib_file();
+        f.role = Role::Bench;
+        assert!(check_file(&f, &scan("fn f() { sim.run_stepped(d); }")).is_empty());
     }
 
     #[test]

@@ -8,6 +8,11 @@ pub struct Rack {
     pub peak_watts: f64,
 }
 
+pub fn oracle_on_purpose(sim: &OutageSim, outage: Seconds) -> SimOutcome {
+    // dcb-audit: allow(stepped-sim, fixture exercises suppression)
+    sim.run_stepped(outage)
+}
+
 pub fn brittle(input: Option<u32>, x: f64) -> bool {
     // dcb-audit: allow(panic-site, fixture exercises suppression)
     let a = input.unwrap();

@@ -1,0 +1,8 @@
+//! Fixture: production code reaching for the fixed-step differential
+//! oracle instead of the event kernel (2 expected `stepped-sim` findings).
+
+pub fn evaluate(sim: &OutageSim, outage: Seconds, backup: &mut BackupSystem) -> SimOutcome {
+    let coarse = sim.run_stepped(outage);
+    let fine = sim.run_with_backup_stepped_at(outage, backup, dt);
+    pick(coarse, fine)
+}

@@ -43,6 +43,7 @@ fn every_lint_class_is_detected() {
         ("time_source.rs", "time-source", 2),
         ("thread_spawn.rs", "thread-spawn", 2),
         ("panic_site.rs", "panic-site", 4),
+        ("stepped_sim.rs", "stepped-sim", 2),
     ] {
         let found = audit_fixture(fixture);
         assert_eq!(

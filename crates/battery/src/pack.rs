@@ -130,6 +130,134 @@ impl PackSpec {
         energy
     }
 
+    /// Instantaneous discharge rate at a constant `load`, in state-of-charge
+    /// fraction per second: `1 / runtime_at(load)`.
+    ///
+    /// Zero at zero/negative load; infinite for a zero-capacity pack under
+    /// any positive load.
+    #[must_use]
+    pub fn drain_rate(self, load: Watts) -> f64 {
+        if load.value() <= 0.0 {
+            return 0.0;
+        }
+        let runtime = self.runtime_at(load);
+        if runtime.value() <= 0.0 {
+            return f64::INFINITY;
+        }
+        1.0 / runtime.value()
+    }
+
+    /// `rated_power^k × rated_runtime` — the denominator of the Peukert
+    /// drain rate `P^k / (P_r^k · t_r)`. `None` for a zero-capacity pack.
+    fn peukert_denominator(self) -> Option<f64> {
+        if self.rated_power.value() <= 0.0 || self.rated_runtime.value() <= 0.0 {
+            return None;
+        }
+        let k = self.chemistry.peukert_exponent();
+        Some(self.rated_power.value().powf(k) * self.rated_runtime.value())
+    }
+
+    /// State-of-charge fraction consumed by a load ramping linearly from
+    /// `start_load` to `end_load` over `duration` — the exact integral of
+    /// the Peukert drain rate over an affine load:
+    ///
+    /// `∫₀^d (P₀ + s·t)^k dt / (P_r^k · t_r)
+    ///   = (P₁^{k+1} − P₀^{k+1}) / (s · (k+1) · P_r^k · t_r)`.
+    ///
+    /// Negative loads are clamped to zero (they draw nothing); a
+    /// zero-capacity pack returns infinity under any positive load. This is
+    /// the closed form that lets the event-driven simulation kernel advance
+    /// a battery across a whole DG-ramp segment in one step.
+    #[must_use]
+    pub fn charge_used_over_ramp(
+        self,
+        start_load: Watts,
+        end_load: Watts,
+        duration: Seconds,
+    ) -> f64 {
+        let d = duration.value();
+        if d <= 0.0 {
+            return 0.0;
+        }
+        let p0 = start_load.value().max(0.0);
+        let p1 = end_load.value().max(0.0);
+        if p0 <= 0.0 && p1 <= 0.0 {
+            return 0.0;
+        }
+        let Some(denom) = self.peukert_denominator() else {
+            return f64::INFINITY;
+        };
+        let k = self.chemistry.peukert_exponent();
+        // Near-constant ramps hit catastrophic cancellation in the closed
+        // form; integrate at the midpoint load instead.
+        let used = if (p1 - p0).abs() <= 1e-9 * p0.max(p1).max(1.0) {
+            let mid = 0.5 * (p0 + p1);
+            d * mid.powf(k) / denom
+        } else {
+            let s = (p1 - p0) / d;
+            (p1.powf(k + 1.0) - p0.powf(k + 1.0)) / (s * (k + 1.0) * denom)
+        };
+        contract!(
+            used >= 0.0,
+            "ramp charge use must be non-negative, got {used} for {start_load}->{end_load} over {duration}"
+        );
+        used
+    }
+
+    /// The instant within `duration` at which `charge` state-of-charge runs
+    /// out under a load ramping linearly from `start_load` to `end_load`,
+    /// or `None` if the charge outlasts the whole ramp.
+    ///
+    /// Inverts [`Self::charge_used_over_ramp`]: solves
+    /// `P(τ)^{k+1} = P₀^{k+1} + charge · s · (k+1) · P_r^k · t_r` for τ.
+    /// Depletion strictly at `duration` counts as surviving (`None`),
+    /// matching [`crate::Battery::draw`]'s `endurance >= interval` test.
+    #[must_use]
+    pub fn depletion_time_over_ramp(
+        self,
+        charge: f64,
+        start_load: Watts,
+        end_load: Watts,
+        duration: Seconds,
+    ) -> Option<Seconds> {
+        let d = duration.value();
+        if d <= 0.0 {
+            return None;
+        }
+        let p0 = start_load.value().max(0.0);
+        let p1 = end_load.value().max(0.0);
+        if p0 <= 0.0 && p1 <= 0.0 {
+            return None;
+        }
+        if self.peukert_denominator().is_none() {
+            // No capacity at all: the pack dies the instant load appears.
+            return Some(Seconds::ZERO);
+        }
+        let total = self.charge_used_over_ramp(start_load, end_load, duration);
+        if charge >= total {
+            return None;
+        }
+        let k = self.chemistry.peukert_exponent();
+        let tau = if (p1 - p0).abs() <= 1e-9 * p0.max(p1).max(1.0) {
+            let mid = 0.5 * (p0 + p1);
+            charge / self.drain_rate(Watts::new(mid))
+        } else {
+            let denom = self.peukert_denominator()?;
+            let s = (p1 - p0) / d;
+            let target = p0.powf(k + 1.0) + charge * s * (k + 1.0) * denom;
+            // `charge < total` bounds target within [p_min, p_max]^{k+1},
+            // so the root is real; clamp tiny negatives from rounding.
+            let p_tau = target.max(0.0).powf(1.0 / (k + 1.0));
+            (p_tau - p0) / s
+        };
+        let tau = tau.clamp(0.0, d);
+        contract!(
+            (0.0..=d).contains(&tau),
+            "depletion time {tau} outside ramp duration {duration}"
+        );
+        Some(Seconds::new(tau))
+    }
+
     /// Scales the pack's rated power, keeping the rated runtime — models
     /// composing more strings of the same cells in parallel.
     #[must_use]
@@ -214,7 +342,113 @@ mod tests {
         assert!(t.value() > 0.0);
     }
 
+    #[test]
+    fn drain_rate_inverts_runtime() {
+        let pack = reference();
+        let load = Watts::new(2000.0);
+        let rate = pack.drain_rate(load);
+        assert!((rate * pack.runtime_at(load).value() - 1.0).abs() < 1e-12);
+        assert_eq!(pack.drain_rate(Watts::ZERO), 0.0);
+    }
+
+    #[test]
+    fn flat_ramp_matches_constant_drain() {
+        let pack = reference();
+        let load = Watts::new(3000.0);
+        let d = Seconds::from_minutes(2.0);
+        let ramp = pack.charge_used_over_ramp(load, load, d);
+        let flat = d.value() * pack.drain_rate(load);
+        assert!((ramp - flat).abs() < 1e-12, "{ramp} vs {flat}");
+    }
+
+    #[test]
+    fn ramp_use_between_endpoint_constants() {
+        // Convexity of P^k (k > 1) puts the ramp integral between the
+        // constant-load bounds at the endpoints.
+        let pack = reference();
+        let d = Seconds::new(95.0);
+        let (lo, hi) = (Watts::new(500.0), Watts::new(4000.0));
+        let ramp = pack.charge_used_over_ramp(lo, hi, d);
+        assert!(ramp > d.value() * pack.drain_rate(lo));
+        assert!(ramp < d.value() * pack.drain_rate(hi));
+    }
+
+    #[test]
+    fn zero_capacity_pack_ramp_behaviour() {
+        let dead = PackSpec::new(Watts::ZERO, Seconds::ZERO, Chemistry::LeadAcid);
+        let d = Seconds::new(10.0);
+        assert!(dead
+            .charge_used_over_ramp(Watts::new(1.0), Watts::new(2.0), d)
+            .is_infinite());
+        assert_eq!(
+            dead.depletion_time_over_ramp(1.0, Watts::new(1.0), Watts::new(2.0), d),
+            Some(Seconds::ZERO)
+        );
+        assert_eq!(dead.charge_used_over_ramp(Watts::ZERO, Watts::ZERO, d), 0.0);
+    }
+
+    #[test]
+    fn depletion_time_matches_constant_runtime() {
+        let pack = reference();
+        let load = Watts::new(4000.0);
+        // Full charge at rated load depletes exactly at rated runtime; ask
+        // over a longer window and the solver should pinpoint it.
+        let tau = pack
+            .depletion_time_over_ramp(1.0, load, load, Seconds::from_hours(1.0))
+            .expect("must deplete within the hour");
+        assert!((tau.to_minutes() - 10.0).abs() < 1e-9);
+        // Exactly at the boundary counts as surviving.
+        assert!(pack
+            .depletion_time_over_ramp(1.0, load, load, pack.runtime_at(load))
+            .is_none());
+    }
+
     proptest! {
+        #[test]
+        fn ramp_charge_composes_over_splits(
+            p0 in 0.0f64..5000.0,
+            p1 in 0.0f64..5000.0,
+            d in 1.0f64..3600.0,
+            cut in 0.05f64..0.95,
+        ) {
+            // Integrating [0,d] equals integrating [0,c] + [c,d] along the
+            // same affine load.
+            let pack = reference();
+            let (p0, p1) = (Watts::new(p0), Watts::new(p1));
+            let whole = pack.charge_used_over_ramp(p0, p1, Seconds::new(d));
+            let c = cut * d;
+            let pc = Watts::new(p0.value() + (p1.value() - p0.value()) * cut);
+            let first = pack.charge_used_over_ramp(p0, pc, Seconds::new(c));
+            let second = pack.charge_used_over_ramp(pc, p1, Seconds::new(d - c));
+            prop_assert!(
+                (whole - (first + second)).abs() < 1e-9 * whole.max(1e-12),
+                "{whole} vs {first} + {second}"
+            );
+        }
+
+        #[test]
+        fn depletion_inverts_charge_used(
+            p0 in 10.0f64..5000.0,
+            p1 in 10.0f64..5000.0,
+            d in 1.0f64..3600.0,
+            frac in 0.05f64..0.95,
+        ) {
+            // charge_used_over_ramp(0..τ) == c whenever
+            // depletion_time_over_ramp(c) == τ.
+            let pack = reference();
+            let (p0, p1) = (Watts::new(p0), Watts::new(p1));
+            let d = Seconds::new(d);
+            let total = pack.charge_used_over_ramp(p0, p1, d);
+            let c = frac * total.min(1.0);
+            prop_assume!(c < total);
+            let tau = pack.depletion_time_over_ramp(c, p0, p1, d)
+                .expect("charge below total use must deplete");
+            let s = (p1.value() - p0.value()) / d.value();
+            let p_tau = Watts::new(p0.value() + s * tau.value());
+            let used = pack.charge_used_over_ramp(p0, p_tau, tau);
+            prop_assert!((used - c).abs() < 1e-9, "used {used} target {c}");
+        }
+
         #[test]
         fn runtime_monotone_decreasing_in_load(
             lo in 1.0f64..4000.0,

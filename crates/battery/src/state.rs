@@ -44,6 +44,10 @@ pub struct DrawOutcome {
 }
 
 impl Battery {
+    /// Charge below this is floating-point residue of an exact-boundary
+    /// draw, not usable energy: snap it to empty.
+    const CHARGE_DUST: f64 = 1e-12;
+
     /// A fully charged battery of the given pack.
     #[must_use]
     pub fn full(spec: PackSpec) -> Self {
@@ -62,6 +66,15 @@ impl Battery {
             charge,
             cycles: 0.0,
         }
+    }
+
+    /// A copy of this battery at a different state of charge, wear
+    /// preserved — a cheap what-if probe for the event kernel's
+    /// latest-safe-fallback and depletion solvers.
+    #[must_use]
+    pub fn with_charge(mut self, charge: Fraction) -> Self {
+        self.charge = charge;
+        self
     }
 
     /// The pack specification.
@@ -179,6 +192,119 @@ impl Battery {
                 sustained: endurance,
                 depleted: true,
                 energy_delivered: load * endurance,
+            }
+        }
+    }
+
+    /// Draws a load ramping linearly from `start_load` to `end_load` over
+    /// `interval`, depleting charge by the exact Peukert integral
+    /// ([`PackSpec::charge_used_over_ramp`]).
+    ///
+    /// With `start_load == end_load` this is numerically identical to
+    /// [`Self::draw`]; with a genuine ramp it advances the battery across a
+    /// whole DG-ramp segment in one closed-form step — the primitive the
+    /// event-driven simulation kernel is built on. On depletion the outcome
+    /// reports the exact mid-ramp instant the charge ran out.
+    #[must_use]
+    pub fn draw_ramp(
+        &mut self,
+        start_load: Watts,
+        end_load: Watts,
+        interval: Seconds,
+    ) -> DrawOutcome {
+        let outcome = self.draw_ramp_inner(start_load, end_load, interval);
+        contract!(
+            (0.0..=1.0).contains(&self.charge.value()),
+            "state of charge left [0,1]: {}",
+            self.charge.value()
+        );
+        contract!(
+            outcome.sustained.value() >= 0.0
+                && outcome.sustained.value() <= interval.value().max(0.0) + 1e-9,
+            "sustained {} exceeds requested interval {interval}",
+            outcome.sustained
+        );
+        // Energy conservation along the sustained part of the ramp: the
+        // delivered energy must equal the trapezoid under the load line.
+        let s = if interval.value() > 0.0 {
+            (end_load.value() - start_load.value()) / interval.value()
+        } else {
+            0.0
+        };
+        let p_end = (start_load.value() + s * outcome.sustained.value()).max(0.0);
+        let expected =
+            0.5 * (start_load.value().max(0.0) + p_end) * outcome.sustained.value() / 3600.0;
+        contract!(
+            (outcome.energy_delivered.value() - expected).abs() <= expected.abs() * 1e-6 + 1e-6,
+            "ramp energy conservation violated: delivered {} but trapezoid = {expected} Wh",
+            outcome.energy_delivered
+        );
+        contract!(
+            self.cycles >= 0.0,
+            "equivalent cycles went negative: {}",
+            self.cycles
+        );
+        outcome
+    }
+
+    fn draw_ramp_inner(
+        &mut self,
+        start_load: Watts,
+        end_load: Watts,
+        interval: Seconds,
+    ) -> DrawOutcome {
+        if interval.value() <= 0.0 {
+            return DrawOutcome {
+                sustained: Seconds::ZERO,
+                depleted: self.is_empty(),
+                energy_delivered: WattHours::ZERO,
+            };
+        }
+        let p0 = Watts::new(start_load.value().max(0.0));
+        let p1 = Watts::new(end_load.value().max(0.0));
+        if p0.value() <= 0.0 && p1.value() <= 0.0 {
+            return DrawOutcome {
+                sustained: interval,
+                depleted: false,
+                energy_delivered: WattHours::ZERO,
+            };
+        }
+        let trapezoid = |end: Watts, over: Seconds| -> WattHours {
+            Watts::new(0.5 * (p0.value() + end.value())) * over
+        };
+        match self
+            .spec
+            .depletion_time_over_ramp(self.charge.value(), p0, p1, interval)
+        {
+            None => {
+                let used = self.spec.charge_used_over_ramp(p0, p1, interval);
+                // A draw that lands exactly on the depletion boundary
+                // leaves floating-point dust, not charge: snap it to empty
+                // so `is_empty` (and everything gated on it, like UPS
+                // available power) agrees with the analytic depletion time.
+                let left = self.charge.value() - used;
+                self.charge = if left < Self::CHARGE_DUST {
+                    Fraction::ZERO
+                } else {
+                    Fraction::new(left)
+                };
+                self.cycles += used;
+                DrawOutcome {
+                    sustained: interval,
+                    depleted: false,
+                    energy_delivered: trapezoid(p1, interval),
+                }
+            }
+            Some(tau) => {
+                let slope = (p1.value() - p0.value()) / interval.value();
+                let p_tau = Watts::new(p0.value() + slope * tau.value());
+                self.cycles += self.charge.value();
+                self.charge = Fraction::ZERO;
+                DrawOutcome {
+                    sustained: tau,
+                    depleted: true,
+                    energy_delivered: trapezoid(p_tau, tau),
+                }
             }
         }
     }
@@ -311,7 +437,73 @@ mod tests {
         assert_eq!(outcome.sustained, Seconds::ZERO);
     }
 
+    #[test]
+    fn ramp_draw_depletes_mid_ramp() {
+        // Half charge under a load ramping 0 -> 4 kW over 20 min dies
+        // somewhere strictly inside the ramp.
+        let mut b = Battery::at_charge(PackSpec::figure3_reference(), Fraction::new(0.25));
+        let outcome = b.draw_ramp(Watts::ZERO, Watts::new(4000.0), Seconds::from_minutes(20.0));
+        assert!(outcome.depleted);
+        assert!(outcome.sustained.value() > 0.0);
+        assert!(outcome.sustained < Seconds::from_minutes(20.0));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn with_charge_probe_leaves_original_untouched() {
+        let b = full_reference();
+        let probe = b.with_charge(Fraction::new(0.25));
+        assert!((probe.charge().value() - 0.25).abs() < 1e-12);
+        assert_eq!(b.charge(), Fraction::ONE);
+        assert!((probe.equivalent_cycles() - b.equivalent_cycles()).abs() < 1e-12);
+    }
+
     proptest! {
+        #[test]
+        fn flat_ramp_draw_matches_constant_draw(
+            load in 1.0f64..6000.0,
+            minutes in 0.01f64..40.0,
+            start in 0.01f64..=1.0,
+        ) {
+            let spec = PackSpec::figure3_reference();
+            let load = Watts::new(load);
+            let d = Seconds::from_minutes(minutes);
+            let mut flat = Battery::at_charge(spec, Fraction::new(start));
+            let mut ramp = Battery::at_charge(spec, Fraction::new(start));
+            let a = flat.draw(load, d);
+            let b = ramp.draw_ramp(load, load, d);
+            prop_assert_eq!(a.depleted, b.depleted);
+            prop_assert!((a.sustained.value() - b.sustained.value()).abs() < 1e-6);
+            prop_assert!((flat.charge().value() - ramp.charge().value()).abs() < 1e-9);
+            prop_assert!(
+                (a.energy_delivered.value() - b.energy_delivered.value()).abs()
+                    < 1e-6 * a.energy_delivered.value().max(1.0)
+            );
+        }
+
+        #[test]
+        fn split_ramp_draw_composes(
+            p0 in 0.0f64..5000.0,
+            p1 in 0.0f64..5000.0,
+            minutes in 0.1f64..30.0,
+            cut in 0.05f64..0.95,
+        ) {
+            // Drawing a ramp in two pieces leaves the same charge as one
+            // piece, provided neither leg depletes.
+            let spec = PackSpec::figure3_reference();
+            let (p0, p1) = (Watts::new(p0), Watts::new(p1));
+            let d = Seconds::from_minutes(minutes);
+            let mut whole = Battery::full(spec);
+            let w = whole.draw_ramp(p0, p1, d);
+            prop_assume!(!w.depleted);
+            let mut split = Battery::full(spec);
+            let c = Seconds::new(cut * d.value());
+            let pc = Watts::new(p0.value() + (p1.value() - p0.value()) * cut);
+            let _ = split.draw_ramp(p0, pc, c);
+            let _ = split.draw_ramp(pc, p1, Seconds::new(d.value() - c.value()));
+            prop_assert!((whole.charge().value() - split.charge().value()).abs() < 1e-9);
+        }
+
         #[test]
         fn draw_never_overcommits(
             load in 1.0f64..8000.0,

@@ -2,6 +2,29 @@
 
 use dcb_units::{contract, Seconds, Watts};
 
+/// One piecewise-affine phase of a generator's availability curve: the
+/// power at the queried instant, its slope, and where the phase ends.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DgPhase {
+    /// Available power at the queried `elapsed`.
+    pub power: Watts,
+    /// Rate of change within the phase, in watts per second (non-negative:
+    /// fuel exhaustion is a phase *boundary*, not a downward slope).
+    // dcb-audit: allow(unit-leak, W/s has no quantity type; the field name spells the unit)
+    pub slope_w_per_s: f64,
+    /// Outage time at which this affine phase ends (`None` = never: the
+    /// curve stays on this line forever).
+    pub until: Option<Seconds>,
+}
+
+impl DgPhase {
+    /// Available power `at` an instant inside this phase.
+    #[must_use]
+    pub fn power_at(&self, phase_start: Seconds, at: Seconds) -> Watts {
+        Watts::new(self.power.value() + self.slope_w_per_s * (at - phase_start).value())
+    }
+}
+
 /// A diesel generator (bank) with its start-up behaviour.
 ///
 /// "It takes about 20-30 seconds for the Diesel Generator to start and
@@ -133,6 +156,83 @@ impl DieselGenerator {
         );
         power
     }
+
+    /// The affine phase of the availability curve containing `elapsed`:
+    /// dead (pre-start / post-fuel), ramping, or at full capacity. The whole
+    /// curve is covered by at most four such phases, which is what lets the
+    /// event kernel advance across it analytically instead of stepping.
+    ///
+    /// Invariant: `until`, when present, is strictly after `elapsed`, and
+    /// `power + slope × (until − elapsed)` equals `available_power` just
+    /// before the boundary.
+    #[must_use]
+    pub fn affine_at(&self, elapsed: Seconds) -> DgPhase {
+        let dead = |until: Option<Seconds>| DgPhase {
+            power: Watts::ZERO,
+            slope_w_per_s: 0.0,
+            until,
+        };
+        if self.power_capacity.is_zero() {
+            return dead(None);
+        }
+        if elapsed < self.start_delay {
+            return dead(Some(self.start_delay));
+        }
+        let fuel_out = self.fuel_runtime.map(|fuel| self.start_delay + fuel);
+        if let Some(out) = fuel_out {
+            if elapsed >= out {
+                return dead(None);
+            }
+        }
+        let ramp = self.transfer_complete - self.start_delay;
+        if ramp.value() > 0.0 && elapsed < self.transfer_complete {
+            let until = fuel_out.map_or(self.transfer_complete, |out| {
+                out.min(self.transfer_complete)
+            });
+            return DgPhase {
+                power: self.available_power(elapsed),
+                slope_w_per_s: self.power_capacity.value() / ramp.value(),
+                until: Some(until),
+            };
+        }
+        DgPhase {
+            power: self.power_capacity,
+            slope_w_per_s: 0.0,
+            until: fuel_out,
+        }
+    }
+
+    /// The first instant at which the generator can carry `load` on its
+    /// own: `start_delay + ramp × load/capacity`. `None` if it never can —
+    /// the load exceeds capacity, or fuel runs out before (or exactly when)
+    /// the ramp gets there. Zero/negative loads are covered from the start.
+    #[must_use]
+    pub fn crossover_time(&self, load: Watts) -> Option<Seconds> {
+        if load.value() <= 0.0 {
+            return Some(Seconds::ZERO);
+        }
+        if self.power_capacity.is_zero() || load > self.power_capacity {
+            return None;
+        }
+        let ramp = self.transfer_complete - self.start_delay;
+        let t = if ramp.value() <= 0.0 {
+            self.start_delay
+        } else {
+            self.start_delay + ramp * (load / self.power_capacity)
+        };
+        if let Some(fuel) = self.fuel_runtime {
+            if t >= self.start_delay + fuel {
+                return None;
+            }
+        }
+        contract!(
+            t >= self.start_delay && t <= self.transfer_complete,
+            "DG crossover {t} outside [{}, {}]",
+            self.start_delay,
+            self.transfer_complete
+        );
+        Some(t)
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +273,56 @@ mod tests {
     fn inverted_timing_rejected() {
         let _ =
             DieselGenerator::with_timing(Watts::new(1.0), Seconds::new(100.0), Seconds::new(50.0));
+    }
+
+    #[test]
+    fn affine_phases_tile_the_curve() {
+        let dg = DieselGenerator::new(Watts::new(1000.0)).with_fuel_runtime(Seconds::new(600.0));
+        let mut t = Seconds::ZERO;
+        let mut boundaries = vec![];
+        while let Some(until) = dg.affine_at(t).until {
+            boundaries.push(until);
+            t = until;
+        }
+        assert_eq!(
+            boundaries,
+            vec![Seconds::new(25.0), Seconds::new(120.0), Seconds::new(625.0)]
+        );
+    }
+
+    #[test]
+    fn affine_matches_pointwise_power() {
+        let dg = DieselGenerator::new(Watts::new(1000.0));
+        for t in [0.0, 10.0, 25.0, 60.0, 119.9, 120.0, 500.0] {
+            let t = Seconds::new(t);
+            let ph = dg.affine_at(t);
+            assert_eq!(ph.power, dg.available_power(t), "at {t}");
+            // Extrapolating the phase line to just before its boundary
+            // agrees with the pointwise curve.
+            if let Some(until) = ph.until {
+                let just_before = Seconds::new(until.value() - 1e-6);
+                let line = ph.power_at(t, just_before);
+                let point = dg.available_power(just_before);
+                assert!((line.value() - point.value()).abs() < 1e-3, "at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_solves_the_ramp() {
+        let dg = DieselGenerator::new(Watts::new(1000.0));
+        let t = dg
+            .crossover_time(Watts::new(500.0))
+            .expect("within capacity");
+        // Half load is reached halfway up the 25->120s ramp.
+        assert!((t.value() - 72.5).abs() < 1e-9);
+        assert!((dg.available_power(t).value() - 500.0).abs() < 1e-6);
+        assert_eq!(dg.crossover_time(Watts::new(1001.0)), None);
+        assert_eq!(dg.crossover_time(Watts::ZERO), Some(Seconds::ZERO));
+        // Fuel running out before the crossover means it never happens.
+        let thirsty =
+            DieselGenerator::new(Watts::new(1000.0)).with_fuel_runtime(Seconds::new(10.0));
+        assert_eq!(thirsty.crossover_time(Watts::new(900.0)), None);
     }
 
     proptest! {

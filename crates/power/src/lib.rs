@@ -36,9 +36,9 @@ mod ups;
 mod utility;
 
 pub use config::BackupConfig;
-pub use diesel::DieselGenerator;
+pub use diesel::{DgPhase, DieselGenerator};
 pub use hierarchy::{ComponentKind, Overload, PowerNode, Redundancy};
 pub use placement::UpsPlacement;
-pub use system::{BackupSystem, Supply};
+pub use system::{BackupSystem, ResidualPhase, Supply};
 pub use ups::Ups;
 pub use utility::{Ats, UtilityFeed};

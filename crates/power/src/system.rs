@@ -1,7 +1,39 @@
 //! The composed backup system a datacenter draws from during an outage.
 
 use crate::{DieselGenerator, Ups};
-use dcb_units::{Seconds, WattHours, Watts};
+use dcb_units::{contract, Fraction, Seconds, WattHours, Watts};
+
+/// One span of an outage over which the UPS residual load (requested load
+/// minus DG contribution) is affine — the unit of analytic advancement in
+/// the event-driven kernel. Spans are split at DG phase boundaries and at
+/// the DG-crossover instant, so within a span the residual is either
+/// identically (near-)zero or strictly positive and non-increasing.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResidualPhase {
+    /// Span start, in outage time.
+    pub start: Seconds,
+    /// Span end, in outage time.
+    pub end: Seconds,
+    /// Residual load on the UPS at `start`.
+    pub residual_start: Watts,
+    /// Residual load on the UPS at `end`.
+    pub residual_end: Watts,
+}
+
+impl ResidualPhase {
+    /// Span length.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+
+    /// Whether the UPS sees no load in this span (DG or nothing covers it),
+    /// using the same `1e-9` threshold as [`BackupSystem::supply`].
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        self.residual_start.value() <= 1e-9
+    }
+}
 
 /// The result of asking the backup system to carry `requested` watts for
 /// `interval` seconds at some point during an outage.
@@ -207,6 +239,186 @@ impl BackupSystem {
         supply
     }
 
+    /// Splits `[from, to)` into spans of affine UPS residual for a constant
+    /// `load`: one span per DG availability phase, with ramp phases split
+    /// again at the instant the DG overtakes the load. Residual within each
+    /// span is non-increasing; the only upward jump (fuel exhaustion) lands
+    /// exactly on a span boundary.
+    #[must_use]
+    pub fn residual_phases(&self, load: Watts, from: Seconds, to: Seconds) -> Vec<ResidualPhase> {
+        let mut phases = Vec::new();
+        if to <= from {
+            return phases;
+        }
+        if load.value() <= 0.0 {
+            phases.push(ResidualPhase {
+                start: from,
+                end: to,
+                residual_start: Watts::ZERO,
+                residual_end: Watts::ZERO,
+            });
+            return phases;
+        }
+        let mut t = from;
+        // The DG curve has at most 4 affine phases and each contributes at
+        // most 2 spans; anything longer means a boundary failed to advance.
+        for _ in 0..16 {
+            if t >= to {
+                break;
+            }
+            let (power, slope, until) = match &self.dg {
+                Some(dg) => {
+                    let ph = dg.affine_at(t);
+                    (ph.power, ph.slope_w_per_s, ph.until)
+                }
+                None => (Watts::ZERO, 0.0, None),
+            };
+            let end = until.map_or(to, |u| u.min(to));
+            contract!(end > t, "DG phase boundary {end} does not advance past {t}");
+            let r_start = (load - power).max(Watts::ZERO);
+            let dg_end = power.value() + slope * (end - t).value();
+            let r_end_raw = load.value() - dg_end;
+            if r_start.value() > 0.0 && r_end_raw < 0.0 && slope > 0.0 {
+                // The DG overtakes the load mid-span: split at the
+                // crossover so the second half is exactly free.
+                let cross = t + Seconds::new((load - power).value() / slope);
+                phases.push(ResidualPhase {
+                    start: t,
+                    end: cross,
+                    residual_start: r_start,
+                    residual_end: Watts::ZERO,
+                });
+                phases.push(ResidualPhase {
+                    start: cross,
+                    end,
+                    residual_start: Watts::ZERO,
+                    residual_end: Watts::ZERO,
+                });
+            } else {
+                phases.push(ResidualPhase {
+                    start: t,
+                    end,
+                    residual_start: r_start,
+                    residual_end: Watts::new(r_end_raw.max(0.0)),
+                });
+            }
+            t = end;
+        }
+        contract!(t >= to, "residual phase walk stalled at {t} before {to}");
+        phases
+    }
+
+    /// The first instant in `[from, to)` at which the system stops carrying
+    /// a constant `load`, without mutating any state: a span whose residual
+    /// exceeds the UPS rating (or has no UPS behind it) fails at its start;
+    /// otherwise the battery's closed-form depletion instant. `None` means
+    /// the load is carried through `to` — the analytic, mid-outage
+    /// generalization of [`Self::endurance`].
+    #[must_use]
+    pub fn first_shortfall(&self, load: Watts, from: Seconds, to: Seconds) -> Option<Seconds> {
+        if load.value() <= 0.0 {
+            return None;
+        }
+        let mut charge = self.ups.as_ref().map_or(0.0, |u| u.charge().value());
+        for ph in self.residual_phases(load, from, to) {
+            if ph.is_free() {
+                continue;
+            }
+            let Some(ups) = &self.ups else {
+                return Some(ph.start);
+            };
+            if ph.residual_start > ups.power_capacity() {
+                return Some(ph.start);
+            }
+            let pack = ups.pack();
+            match pack.depletion_time_over_ramp(
+                charge,
+                ph.residual_start,
+                ph.residual_end,
+                ph.duration(),
+            ) {
+                Some(tau) => return Some(ph.start + tau),
+                None => {
+                    charge -= pack.charge_used_over_ramp(
+                        ph.residual_start,
+                        ph.residual_end,
+                        ph.duration(),
+                    );
+                    charge = charge.max(0.0);
+                }
+            }
+        }
+        None
+    }
+
+    /// State-of-charge fraction the UPS battery would spend carrying `load`
+    /// over `[from, to)`, ignoring depletion — the charge-trajectory probe
+    /// behind the kernel's latest-safe-fallback solver. Zero without a UPS.
+    #[must_use]
+    pub fn charge_used_for(&self, load: Watts, from: Seconds, to: Seconds) -> f64 {
+        let Some(ups) = &self.ups else {
+            return 0.0;
+        };
+        self.residual_phases(load, from, to)
+            .into_iter()
+            .filter(|ph| !ph.is_free())
+            .map(|ph| ups.charge_used_over_ramp(ph.residual_start, ph.residual_end, ph.duration()))
+            .sum()
+    }
+
+    /// A copy of this system with the UPS battery at a given state of
+    /// charge — the kernel's what-if probe for future instants.
+    #[must_use]
+    pub fn with_ups_charge(&self, charge: Fraction) -> Self {
+        let mut probe = self.clone();
+        if let Some(ups) = probe.ups.take() {
+            probe.ups = Some(ups.with_charge(charge));
+        }
+        probe
+    }
+
+    /// Draws a constant `load` over the whole segment `[from, to)` in one
+    /// analytic step, draining the battery by the exact Peukert ramp
+    /// integrals and accounting peak/energy exactly as the per-step
+    /// [`Self::supply`] would in the dt→0 limit. Returns the time sustained
+    /// from `from` (equal to `to − from` unless coverage fails mid-way).
+    pub fn supply_segment(&mut self, load: Watts, from: Seconds, to: Seconds) -> Seconds {
+        let span = to - from;
+        if span.value() <= 0.0 {
+            return Seconds::ZERO;
+        }
+        if load.value() <= 0.0 {
+            return span;
+        }
+        let mut sustained = Seconds::ZERO;
+        for ph in self.residual_phases(load, from, to) {
+            if ph.is_free() {
+                sustained += ph.duration();
+                continue;
+            }
+            let Some(ups) = &mut self.ups else {
+                break;
+            };
+            if ph.residual_start > ups.power_capacity() {
+                break;
+            }
+            let outcome = ups.draw_ramp(ph.residual_start, ph.residual_end, ph.duration());
+            sustained += outcome.sustained;
+            if outcome.depleted {
+                break;
+            }
+        }
+        contract!(
+            sustained.value() >= 0.0 && sustained.value() <= span.value() + 1e-9,
+            "segment sustained {sustained} outside [0, {span}]"
+        );
+        if sustained.value() > 0.0 {
+            self.peak_drawn = self.peak_drawn.max(load);
+            self.energy_drawn += load * sustained;
+        }
+        sustained
+    }
+
     /// Restores the system after utility power returns.
     pub fn reset(&mut self) {
         if let Some(ups) = &mut self.ups {
@@ -315,7 +527,150 @@ mod tests {
         assert_eq!(sys.energy_drawn(), WattHours::ZERO);
     }
 
+    #[test]
+    fn residual_phases_cover_segment_contiguously() {
+        let sys = BackupConfig::max_perf().instantiate(peak());
+        let phases = sys.residual_phases(peak(), Seconds::ZERO, Seconds::from_minutes(10.0));
+        assert!(phases.len() >= 3, "expected dead/ramp/full split");
+        assert_eq!(phases[0].start, Seconds::ZERO);
+        assert_eq!(phases.last().unwrap().end, Seconds::from_minutes(10.0));
+        for pair in phases.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // Once the DG carries the full load the residual is exactly zero.
+        assert!(phases.last().unwrap().is_free());
+    }
+
+    #[test]
+    fn first_shortfall_matches_endurance_from_zero() {
+        // Battery-only config: analytic shortfall equals the classic
+        // endurance answer.
+        let sys = BackupConfig::no_dg().instantiate(peak());
+        let horizon = Seconds::from_hours(2.0);
+        let shortfall = sys
+            .first_shortfall(peak(), Seconds::ZERO, horizon)
+            .expect("2-min battery must die within 2 h");
+        let endurance = sys.endurance(peak(), Seconds::ZERO);
+        assert!(
+            (shortfall.value() - endurance.value()).abs() < 1e-6,
+            "{shortfall} vs {endurance}"
+        );
+        // Full-backup config never falls short.
+        let full = BackupConfig::max_perf().instantiate(peak());
+        assert_eq!(full.first_shortfall(peak(), Seconds::ZERO, horizon), None);
+    }
+
+    #[test]
+    fn no_ups_shortfall_is_immediate_then_covered() {
+        let sys = BackupConfig::no_ups().instantiate(peak());
+        // From t=0 the gap is uncovered: shortfall at once.
+        assert_eq!(
+            sys.first_shortfall(peak(), Seconds::ZERO, Seconds::from_hours(1.0)),
+            Some(Seconds::ZERO)
+        );
+        // From t=3min the DG is up: covered forever.
+        assert_eq!(
+            sys.first_shortfall(peak(), Seconds::from_minutes(3.0), Seconds::from_hours(1.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn supply_segment_matches_fine_stepping() {
+        // The analytic segment draw must agree with a dt→0 stepped draw on
+        // charge, energy, and peak across the DG ramp.
+        for config in [
+            BackupConfig::max_perf(),
+            BackupConfig::no_dg(),
+            BackupConfig::dg_small_pups(),
+            BackupConfig::small_dg_small_pups(),
+        ] {
+            let load = peak() * 0.9;
+            let horizon = Seconds::from_minutes(6.0);
+            let mut analytic = config.instantiate(peak());
+            let seg = analytic.supply_segment(load, Seconds::ZERO, horizon);
+
+            let mut stepped = config.instantiate(peak());
+            let dt = Seconds::new(0.01);
+            let mut t = Seconds::ZERO;
+            let mut stepped_sustained = Seconds::ZERO;
+            while t < horizon {
+                let s = stepped.supply(load, t, dt);
+                stepped_sustained += s.sustained;
+                if !s.fully_covered() {
+                    break;
+                }
+                t += dt;
+            }
+            assert!(
+                (seg.value() - stepped_sustained.value()).abs() < 1.0,
+                "{}: analytic {seg} vs stepped {stepped_sustained}",
+                config.label()
+            );
+            let (ca, cs) = (
+                analytic.ups().map_or(0.0, |u| u.charge().value()),
+                stepped.ups().map_or(0.0, |u| u.charge().value()),
+            );
+            assert!(
+                (ca - cs).abs() < 0.01,
+                "{}: charge {ca} vs {cs}",
+                config.label()
+            );
+            assert!(
+                (analytic.energy_drawn().value() - stepped.energy_drawn().value()).abs()
+                    < stepped.energy_drawn().value().max(1.0) * 0.01,
+                "{}: energy {} vs {}",
+                config.label(),
+                analytic.energy_drawn(),
+                stepped.energy_drawn()
+            );
+        }
+    }
+
+    #[test]
+    fn charge_used_probe_matches_committed_draw() {
+        let sys = BackupConfig::max_perf().instantiate(peak());
+        let load = peak() * 0.8;
+        let predicted = sys.charge_used_for(load, Seconds::ZERO, Seconds::from_minutes(2.0));
+        let mut committed = sys.clone();
+        let _ = committed.supply_segment(load, Seconds::ZERO, Seconds::from_minutes(2.0));
+        let spent = 1.0 - committed.ups().unwrap().charge().value();
+        assert!((predicted - spent).abs() < 1e-9, "{predicted} vs {spent}");
+        // Probe clones don't mutate the original.
+        assert_eq!(sys.ups().unwrap().charge().value(), 1.0);
+        let probe = sys.with_ups_charge(dcb_units::Fraction::new(0.5));
+        assert!((probe.ups().unwrap().charge().value() - 0.5).abs() < 1e-12);
+        assert_eq!(sys.ups().unwrap().charge().value(), 1.0);
+    }
+
     proptest! {
+        #[test]
+        fn analytic_shortfall_brackets_stepped_shortfall(
+            frac in 0.3f64..1.2,
+            start_charge in 0.05f64..=1.0,
+            minutes in 0.5f64..30.0,
+        ) {
+            // first_shortfall (no mutation) must predict exactly where a
+            // committed supply_segment stops sustaining.
+            let load = peak() * frac;
+            let horizon = Seconds::from_minutes(minutes);
+            let sys = BackupConfig::dg_small_pups()
+                .instantiate(peak())
+                .with_ups_charge(dcb_units::Fraction::new(start_charge));
+            let predicted = sys.first_shortfall(load, Seconds::ZERO, horizon);
+            let mut committed = sys.clone();
+            let sustained = committed.supply_segment(load, Seconds::ZERO, horizon);
+            match predicted {
+                None => prop_assert!((sustained.value() - horizon.value()).abs() < 1e-6),
+                Some(at) => prop_assert!(
+                    (sustained.value() - at.value()).abs() < 1e-6,
+                    "predicted shortfall {} but sustained {}",
+                    at,
+                    sustained
+                ),
+            }
+        }
+
         #[test]
         fn supply_never_oversources(
             frac in 0.0f64..1.5,

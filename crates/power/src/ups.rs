@@ -144,6 +144,77 @@ impl Ups {
         outcome
     }
 
+    /// Draws a load ramping linearly from `start_load` to `end_load` over
+    /// `interval` — the analytic segment primitive behind the event kernel.
+    /// Refused outright (zero sustained time) if the ramp exceeds the
+    /// electronics rating at any point, matching [`Self::draw`].
+    pub fn draw_ramp(
+        &mut self,
+        start_load: Watts,
+        end_load: Watts,
+        interval: Seconds,
+    ) -> dcb_battery::DrawOutcome {
+        if start_load.max(end_load) > self.power_capacity {
+            return dcb_battery::DrawOutcome {
+                sustained: Seconds::ZERO,
+                depleted: self.is_depleted(),
+                energy_delivered: WattHours::ZERO,
+            };
+        }
+        let outcome = self.battery.draw_ramp(start_load, end_load, interval);
+        contract!(
+            outcome.energy_delivered.value()
+                <= self.power_capacity.value() * outcome.sustained.value() / 3600.0 + 1e-9,
+            "UPS ramp delivered {} Wh, above rating {} for {}",
+            outcome.energy_delivered.value(),
+            self.power_capacity,
+            outcome.sustained
+        );
+        outcome
+    }
+
+    /// A copy of this UPS with the battery at a given state of charge —
+    /// the kernel's what-if probe for future instants.
+    #[must_use]
+    pub fn with_charge(mut self, charge: Fraction) -> Self {
+        self.battery = self.battery.with_charge(charge);
+        self
+    }
+
+    /// State-of-charge fraction a load ramp would consume, without
+    /// mutating the battery (see [`PackSpec::charge_used_over_ramp`]).
+    #[must_use]
+    pub fn charge_used_over_ramp(
+        &self,
+        start_load: Watts,
+        end_load: Watts,
+        duration: Seconds,
+    ) -> f64 {
+        self.battery
+            .spec()
+            .charge_used_over_ramp(start_load, end_load, duration)
+    }
+
+    /// The instant within `duration` at which the *current* charge dies
+    /// under a load ramp, or `None` if it survives (see
+    /// [`PackSpec::depletion_time_over_ramp`]). Loads beyond the
+    /// electronics rating are the caller's overload problem, not a
+    /// depletion instant.
+    #[must_use]
+    pub fn depletion_time_over_ramp(
+        &self,
+        start_load: Watts,
+        end_load: Watts,
+        duration: Seconds,
+    ) -> Option<Seconds> {
+        self.battery.spec().depletion_time_over_ramp(
+            self.battery.charge().value(),
+            start_load,
+            end_load,
+            duration,
+        )
+    }
+
     /// Recharges the battery (utility restored).
     pub fn recharge(&mut self) {
         self.battery.recharge();

@@ -1,4 +1,11 @@
-//! The time-stepped outage simulation engine.
+//! The outage simulation core: shared mode machinery and the public
+//! [`OutageSim`] entry points.
+//!
+//! Two interchangeable solvers share everything in this module: the
+//! event-driven piecewise-analytic kernel (`kernel.rs`, the default behind
+//! [`OutageSim::run`]) and the legacy fixed-step loop (`stepper.rs`, kept
+//! as a differential oracle). Mode semantics, fallback planning, and
+//! outcome assembly live here so the two cannot drift apart.
 
 use crate::{Cluster, Fallback, FinalState, InitialAction, SimOutcome, Technique};
 use dcb_migration::{ConsolidationPlan, MigrationModel};
@@ -10,14 +17,16 @@ use dcb_workload::DowntimeRange;
 /// Simulates one cluster through one utility outage under one
 /// outage-handling technique and one backup configuration.
 ///
-/// The engine advances in fixed steps (sub-second for short outages, a few
-/// seconds for multi-hour ones), at each step deciding the cluster's load
-/// from its mode, drawing that load from the [`BackupSystem`] (diesel ramp
-/// first, Peukert battery for the remainder), progressing state-transition
-/// timers, and accumulating the paper's metrics. Hybrid techniques switch
+/// The default solver is event-driven: between events the cluster's load
+/// is constant (a mode only changes at a timer expiry, a battery-depletion
+/// instant, a DG-ramp crossover, a hybrid-fallback latest-safe instant, or
+/// outage end), so each next event time is computed in closed form and the
+/// outage resolves in O(#events) exact segments. Hybrid techniques switch
 /// from their sustain phase to their save-state fallback at the latest
 /// instant the remaining battery charge still covers the save — the
-/// planning rule behind the paper's *Throttle+Sleep-L* results.
+/// planning rule behind the paper's *Throttle+Sleep-L* results. The
+/// fixed-step solver survives as [`OutageSim::run_stepped`] for
+/// differential testing.
 #[derive(Debug, Clone)]
 pub struct OutageSim {
     cluster: Cluster,
@@ -30,7 +39,7 @@ pub struct OutageSim {
 
 /// What the cluster is doing at an instant of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Mode {
+pub(crate) enum Mode {
     Serving {
         level: ThrottleLevel,
         share: Fraction,
@@ -63,9 +72,23 @@ enum Mode {
     },
 }
 
+/// Mutable run state threaded through either solver and handed to
+/// [`OutageSim::assemble`] once utility power returns.
+#[derive(Debug, Clone)]
+pub(crate) struct RunState {
+    pub(crate) mode: Mode,
+    pub(crate) state_lost: bool,
+    pub(crate) unplanned_crash: bool,
+    pub(crate) crash_recovery_engaged: bool,
+    /// Normalized-throughput seconds served so far.
+    pub(crate) serving_integral: f64,
+    /// In-outage downtime so far.
+    pub(crate) downtime: Seconds,
+}
+
 impl OutageSim {
     /// Safety factor on the charge reserved for a fallback save.
-    const FALLBACK_SAFETY: f64 = 1.1;
+    pub(crate) const FALLBACK_SAFETY: f64 = 1.1;
     /// UPS electronics tare draw while discharging, as a fraction of the
     /// unit's power rating.
     const DEFAULT_TARE: f64 = 0.005;
@@ -98,11 +121,18 @@ impl OutageSim {
         self
     }
 
-    /// Overrides the UPS tare fraction (0 disables the tare).
+    /// Overrides the UPS tare fraction ([`Fraction::ZERO`] disables the
+    /// tare). Taking a [`Fraction`] makes out-of-range and NaN inputs
+    /// unrepresentable instead of policed by this builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tare` is exactly 1: the tare must leave headroom for the
+    /// IT load itself.
     #[must_use]
-    pub fn with_tare_fraction(mut self, tare: f64) -> Self {
-        assert!((0.0..1.0).contains(&tare), "tare must be in [0, 1)");
-        self.tare_fraction = tare;
+    pub fn with_tare_fraction(mut self, tare: Fraction) -> Self {
+        assert!(tare.value() < 1.0, "tare must be in [0, 1)");
+        self.tare_fraction = tare.value();
         self
     }
 
@@ -124,13 +154,18 @@ impl OutageSim {
         &self.technique
     }
 
+    /// The consolidated serving share after a completed migration.
+    pub(crate) fn consolidated_share(&self) -> Fraction {
+        self.consolidation.share()
+    }
+
     /// Number of servers still powered in a mode.
     fn active_servers(&self, share: Fraction) -> f64 {
         (f64::from(self.cluster.size()) * share.value()).ceil()
     }
 
     /// Cluster IT load (before UPS tare) for a mode.
-    fn cluster_load(&self, mode: &Mode) -> Watts {
+    pub(crate) fn cluster_load(&self, mode: &Mode) -> Watts {
         let spec = self.cluster.spec();
         let util = self.cluster.workload().utilization();
         let n = f64::from(self.cluster.size());
@@ -163,7 +198,7 @@ impl OutageSim {
     /// battery but is bounded by the unit's rating, so the combined draw is
     /// capped at the cluster's nameplate peak (the quantity the electronics
     /// are sized against).
-    fn supply_load(&self, mode: &Mode, backup: &BackupSystem) -> Watts {
+    pub(crate) fn supply_load(&self, mode: &Mode, backup: &BackupSystem) -> Watts {
         let it = self.cluster_load(mode);
         if it.is_zero() {
             return it;
@@ -172,6 +207,42 @@ impl OutageSim {
             .ups()
             .map_or(Watts::ZERO, |u| u.power_capacity() * self.tare_fraction);
         (it + tare).min(self.cluster.peak_power().max(it))
+    }
+
+    /// The normalized throughput rate and downtime flag of a mode — the
+    /// per-segment accounting rule shared by both solvers.
+    pub(crate) fn mode_rates(&self, mode: &Mode) -> (f64, bool) {
+        let w = self.cluster.workload();
+        match mode {
+            Mode::Serving { level, share } => (
+                w.throughput_at(level.effective_speed(), *share).value(),
+                false,
+            ),
+            Mode::Migrating {
+                during,
+                remaining,
+                pause,
+                ..
+            } => {
+                if *remaining > *pause {
+                    (
+                        w.throughput_at(during.effective_speed(), Fraction::ONE)
+                            .value(),
+                        false,
+                    )
+                } else {
+                    (0.0, true) // stop-and-copy pause
+                }
+            }
+            Mode::SleepingRemote => (w.remote_serve_fraction().value(), false),
+            Mode::EnteringSleep { .. }
+            | Mode::Sleeping
+            | Mode::Saving { .. }
+            | Mode::NvdimmPersisted
+            | Mode::Hibernated { .. }
+            | Mode::Crashed
+            | Mode::Recovering { .. } => (0.0, true),
+        }
     }
 
     /// The state volume a hibernation-style save must write.
@@ -191,7 +262,7 @@ impl OutageSim {
     }
 
     /// Initial mode implied by the technique.
-    fn initial_mode(&self, transitions: &TransitionTimes) -> (Mode, bool) {
+    pub(crate) fn initial_mode(&self, transitions: &TransitionTimes) -> (Mode, bool) {
         match self.technique.initial() {
             InitialAction::Continue(level) => (
                 Mode::Serving {
@@ -272,9 +343,11 @@ impl OutageSim {
 
     /// Whether a serving cluster must switch to its fallback *now* to keep
     /// the save (plus, for sleep, the rest of the outage) within the
-    /// remaining battery charge.
+    /// remaining battery charge. `step` is the cost lookahead of the
+    /// stepped solver (one step of serving); the event kernel passes zero
+    /// and locates the crossing instant instead.
     #[allow(clippy::too_many_arguments)]
-    fn must_fall_back(
+    pub(crate) fn must_fall_back(
         &self,
         fallback: Fallback,
         backup: &BackupSystem,
@@ -327,7 +400,7 @@ impl OutageSim {
     }
 
     /// Enters the fallback mode.
-    fn fallback_mode(&self, fallback: Fallback, transitions: &TransitionTimes) -> Mode {
+    pub(crate) fn fallback_mode(&self, fallback: Fallback, transitions: &TransitionTimes) -> Mode {
         match fallback {
             Fallback::Sleep(level) => Mode::EnteringSleep {
                 level,
@@ -340,6 +413,27 @@ impl OutageSim {
             },
             Fallback::Nvdimm => Mode::NvdimmPersisted,
         }
+    }
+
+    /// The mode a completed sleep entry lands in: remote-serve sleep only
+    /// when the technique *started* as remote sleep.
+    pub(crate) fn sleep_target(&self) -> Mode {
+        if matches!(self.technique.initial(), InitialAction::StartRemoteSleep(_)) {
+            Mode::SleepingRemote
+        } else {
+            Mode::Sleeping
+        }
+    }
+
+    /// Expected crash-recovery span: boot, application start, state reload,
+    /// warmup, and expected recompute.
+    pub(crate) fn expected_recovery(&self) -> Seconds {
+        let recovery = self.cluster.workload().recovery();
+        self.cluster.spec().boot_time()
+            + recovery.app_start
+            + recovery.reload_time()
+            + recovery.warmup
+            + recovery.recompute.expected
     }
 
     /// Runs the simulation for an outage of the given length against a
@@ -385,196 +479,22 @@ impl OutageSim {
     /// battery.
     #[must_use]
     pub fn run_with_backup(&self, outage: Seconds, backup: &mut BackupSystem) -> SimOutcome {
-        assert!(
-            outage.value() >= 0.0 && outage.is_finite(),
-            "outage must be finite and non-negative"
-        );
-        let transitions = TransitionTimes::new(*self.cluster.spec());
-        let w = *self.cluster.workload();
-        let (mut mode, mut state_lost) = self.initial_mode(&transitions);
-        let mut unplanned_crash = false;
-        let mut crash_recovery_engaged = false;
-        let mut serving_integral = 0.0; // normalized-throughput seconds
-        let mut downtime = Seconds::ZERO;
+        self.run_with_backup_trajectory(outage, backup).outcome
+    }
+
+    /// Utility restored: computes the recovery tail, the final state, and
+    /// the full [`SimOutcome`] from a solver's end-of-outage [`RunState`].
+    pub(crate) fn assemble(
+        &self,
+        outage: Seconds,
+        state: RunState,
+        backup: &BackupSystem,
+        transitions: &TransitionTimes,
+    ) -> SimOutcome {
+        let w = self.cluster.workload();
         let recovery = w.recovery();
-        let boot = self.cluster.spec().boot_time();
-        let expected_recovery = boot
-            + recovery.app_start
-            + recovery.reload_time()
-            + recovery.warmup
-            + recovery.recompute.expected;
-
-        // Step size: fine for short outages, bounded step count for long.
-        let step = Seconds::new((outage.value() / 7200.0).max(0.25));
-        let mut t = Seconds::ZERO;
-        while t < outage {
-            let dt = step.min(outage - t);
-            // Once a DG has ramped up far enough to carry the *unthrottled*
-            // load indefinitely, throttling serves no purpose: restore full
-            // speed (the paper throttles only to ride the DG start-up).
-            if let Mode::Serving { level, share } = &mode {
-                if *level != ThrottleLevel::NONE {
-                    let full = Mode::Serving {
-                        level: ThrottleLevel::NONE,
-                        share: *share,
-                    };
-                    let full_load = self.supply_load(&full, backup);
-                    if backup.endurance(full_load, t).value().is_infinite() {
-                        mode = full;
-                    }
-                }
-            }
-            // Hybrid fallback decision.
-            if let (Mode::Serving { .. }, Some(fb)) = (&mode, self.technique.fallback()) {
-                if self.must_fall_back(fb, backup, &transitions, &mode, t, outage, dt) {
-                    mode = self.fallback_mode(fb, &transitions);
-                }
-            }
-            let load = self.supply_load(&mode, backup);
-            let supply = backup.supply(load, t, dt);
-            if !supply.fully_covered() {
-                // Credit the portion that was sustained, then crash.
-                let sustained = supply.sustained;
-                match &mode {
-                    Mode::Serving { level, share } => {
-                        serving_integral +=
-                            w.throughput_at(level.effective_speed(), *share).value()
-                                * sustained.value();
-                        downtime += dt - sustained;
-                    }
-                    Mode::Migrating { during, .. } => {
-                        serving_integral += w
-                            .throughput_at(during.effective_speed(), Fraction::ONE)
-                            .value()
-                            * sustained.value();
-                        downtime += dt - sustained;
-                    }
-                    _ => downtime += dt,
-                }
-                match mode {
-                    Mode::Hibernated { .. } | Mode::Crashed | Mode::NvdimmPersisted => {
-                        // Zero-load modes cannot actually get here, but be
-                        // safe: nothing more to lose.
-                    }
-                    Mode::Recovering { .. } => {
-                        mode = Mode::Crashed; // power went away mid-reboot
-                    }
-                    Mode::Serving { .. }
-                        if matches!(self.technique.fallback(), Some(Fallback::Nvdimm)) =>
-                    {
-                        // The in-DIMM supercapacitors flush state as power
-                        // collapses: planned, nothing lost.
-                        mode = Mode::NvdimmPersisted;
-                    }
-                    _ => {
-                        // Losing state that was still intact is an
-                        // unplanned failure of the technique; re-crashing a
-                        // cluster whose state was already gone (e.g. a
-                        // battery-powered reboot that ran dry) adds nothing
-                        // the plan had promised to keep.
-                        if !state_lost {
-                            unplanned_crash = true;
-                        }
-                        state_lost = true;
-                        mode = Mode::Crashed;
-                    }
-                }
-                t += dt;
-                continue;
-            }
-
-            // Power fully supplied: progress the mode.
-            match &mut mode {
-                Mode::Serving { level, share } => {
-                    serving_integral +=
-                        w.throughput_at(level.effective_speed(), *share).value() * dt.value();
-                }
-                Mode::Migrating {
-                    after,
-                    remaining,
-                    pause,
-                    during,
-                } => {
-                    if *remaining > *pause {
-                        serving_integral += w
-                            .throughput_at(during.effective_speed(), Fraction::ONE)
-                            .value()
-                            * dt.value();
-                    } else {
-                        downtime += dt; // stop-and-copy pause
-                    }
-                    *remaining -= dt;
-                    if remaining.value() <= 0.0 {
-                        mode = Mode::Serving {
-                            level: *after,
-                            share: self.consolidation.share(),
-                        };
-                    }
-                }
-                Mode::EnteringSleep { remaining, .. } => {
-                    downtime += dt;
-                    *remaining -= dt;
-                    if remaining.value() <= 0.0 {
-                        mode = if matches!(
-                            self.technique.initial(),
-                            InitialAction::StartRemoteSleep(_)
-                        ) {
-                            Mode::SleepingRemote
-                        } else {
-                            Mode::Sleeping
-                        };
-                    }
-                }
-                Mode::Sleeping => downtime += dt,
-                Mode::SleepingRemote => {
-                    // Remote peers keep answering reads from this memory.
-                    serving_integral += w.remote_serve_fraction().value() * dt.value();
-                }
-                Mode::NvdimmPersisted => downtime += dt,
-                Mode::Saving { remaining, level } => {
-                    downtime += dt;
-                    *remaining -= dt;
-                    if remaining.value() <= 0.0 {
-                        mode = Mode::Hibernated {
-                            saved_throttled: *level != ThrottleLevel::NONE,
-                        };
-                    }
-                }
-                Mode::Hibernated { .. } => downtime += dt,
-                Mode::Crashed => {
-                    downtime += dt;
-                    // A sufficiently ramped DG lets the cluster reboot
-                    // mid-outage (NoUPS: "DG translates long outages into
-                    // short ones").
-                    let reboot_load = self.supply_load(
-                        &Mode::Recovering {
-                            remaining: Seconds::ZERO,
-                        },
-                        backup,
-                    );
-                    if backup.available_power(t + dt) >= reboot_load {
-                        crash_recovery_engaged = true;
-                        mode = Mode::Recovering {
-                            remaining: expected_recovery,
-                        };
-                    }
-                }
-                Mode::Recovering { remaining } => {
-                    downtime += dt;
-                    *remaining -= dt;
-                    if remaining.value() <= 0.0 {
-                        mode = Mode::Serving {
-                            level: ThrottleLevel::NONE,
-                            share: Fraction::ONE,
-                        };
-                    }
-                }
-            }
-            t += dt;
-        }
-
-        // Utility restored: compute the recovery tail and final state.
-        let (tail, final_state) = match mode {
+        let mut crash_recovery_engaged = state.crash_recovery_engaged;
+        let (tail, final_state) = match state.mode {
             Mode::Serving { .. } => (Seconds::ZERO, FinalState::Serving),
             Mode::Migrating {
                 remaining, pause, ..
@@ -612,14 +532,14 @@ impl OutageSim {
             ),
             Mode::Crashed => {
                 crash_recovery_engaged = true;
-                (expected_recovery, FinalState::Crashed)
+                (self.expected_recovery(), FinalState::Crashed)
             }
             Mode::Recovering { remaining } => {
                 (remaining.max(Seconds::ZERO), FinalState::Recovering)
             }
         };
 
-        let expected_downtime = downtime + tail;
+        let expected_downtime = state.downtime + tail;
         let downtime_range = if crash_recovery_engaged {
             let rec = recovery.recompute;
             DowntimeRange {
@@ -632,21 +552,21 @@ impl OutageSim {
         };
 
         let perf = if outage.value() > 0.0 {
-            Fraction::new(serving_integral / outage.value())
+            Fraction::new(state.serving_integral / outage.value())
         } else {
             Fraction::ONE
         };
         let peak = backup.peak_drawn();
         SimOutcome {
             outage,
-            feasible: !unplanned_crash,
-            state_lost,
+            feasible: !state.unplanned_crash,
+            state_lost: state.state_lost,
             peak_power: peak,
             peak_power_fraction: Fraction::new(peak / self.cluster.peak_power()),
             energy: backup.energy_drawn(),
             perf_during_outage: perf,
             downtime: downtime_range,
-            downtime_during_outage: downtime,
+            downtime_during_outage: state.downtime,
             final_state,
         }
     }
@@ -963,5 +883,24 @@ mod tests {
         )
         .run(minutes(30.0));
         assert_eq!(plain.perf_during_outage.value(), 0.0);
+    }
+
+    #[test]
+    fn tare_fraction_takes_a_validated_fraction() {
+        let base = sim(BackupConfig::no_dg(), Technique::ride_through());
+        // Zero tare stretches the battery slightly further than the default.
+        let no_tare = base
+            .clone()
+            .with_tare_fraction(Fraction::ZERO)
+            .run(minutes(10.0));
+        let default_tare = base.run(minutes(10.0));
+        assert!(no_tare.perf_during_outage >= default_tare.perf_during_outage);
+    }
+
+    #[test]
+    #[should_panic(expected = "tare must be in [0, 1)")]
+    fn full_tare_fraction_rejected() {
+        let _ =
+            sim(BackupConfig::no_dg(), Technique::ride_through()).with_tare_fraction(Fraction::ONE);
     }
 }

@@ -1,0 +1,98 @@
+//! Event-time solvers for the kernel.
+//!
+//! Most event times fall out in closed form (timer expiries, battery
+//! depletion, DG crossover). The two genuinely predicate-shaped events —
+//! "the DG can now carry the unthrottled load forever" and "this is the
+//! latest safe instant to fall back" — are located with a first-true
+//! finder: a coarse forward scan to bracket the earliest flip followed by
+//! bisection. Both predicates flip false→true once along the charge
+//! trajectory for every configuration the paper studies; the scan
+//! guards against pathological shapes by only trusting the earliest
+//! bracketed flip.
+
+use dcb_units::Seconds;
+
+/// Samples used to bracket the earliest predicate flip in `(lo, hi]`.
+const SCAN_SAMPLES: u32 = 32;
+/// Bisection convergence tolerance, in seconds.
+const BISECT_TOL: f64 = 1e-7;
+
+/// The earliest `t` in `(lo, hi]` at which `pred` is true, to within
+/// [`BISECT_TOL`]; `None` if it never flips. The caller is expected to
+/// have handled `pred(lo)` (the instantaneous case) already. The returned
+/// instant always satisfies the predicate.
+pub(crate) fn first_true(
+    lo: Seconds,
+    hi: Seconds,
+    mut pred: impl FnMut(Seconds) -> bool,
+) -> Option<Seconds> {
+    if hi <= lo {
+        return None;
+    }
+    let span = (hi - lo).value();
+    let mut prev = lo;
+    for i in 1..=SCAN_SAMPLES {
+        let t = if i == SCAN_SAMPLES {
+            hi
+        } else {
+            lo + Seconds::new(span * f64::from(i) / f64::from(SCAN_SAMPLES))
+        };
+        if pred(t) {
+            // Bracketed: pred(prev) false, pred(t) true. Bisect.
+            let (mut f, mut tr) = (prev, t);
+            while (tr - f).value() > BISECT_TOL {
+                let mid = f + (tr - f) * 0.5;
+                if pred(mid) {
+                    tr = mid;
+                } else {
+                    f = mid;
+                }
+            }
+            return Some(tr);
+        }
+        prev = t;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_a_step_crossing() {
+        let at = first_true(Seconds::ZERO, Seconds::new(100.0), |t| t.value() >= 37.25)
+            .expect("crossing exists");
+        assert!((at.value() - 37.25).abs() < 1e-6, "got {at}");
+    }
+
+    #[test]
+    fn none_when_never_true() {
+        assert_eq!(
+            first_true(Seconds::ZERO, Seconds::new(10.0), |_| false),
+            None
+        );
+    }
+
+    #[test]
+    fn crossing_at_the_far_end_is_found() {
+        let at = first_true(Seconds::ZERO, Seconds::new(10.0), |t| t.value() >= 10.0)
+            .expect("endpoint flip");
+        assert!((at.value() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn returned_instant_satisfies_the_predicate() {
+        let pred = |t: Seconds| t.value() > 1.0 / 3.0;
+        let at = first_true(Seconds::ZERO, Seconds::new(2.0), pred).expect("flip");
+        assert!(pred(at));
+    }
+
+    #[test]
+    fn empty_interval_yields_none() {
+        assert_eq!(
+            first_true(Seconds::new(5.0), Seconds::new(5.0), |_| true),
+            None
+        );
+    }
+}

@@ -1,0 +1,483 @@
+//! The event-driven piecewise-analytic solver.
+//!
+//! Between events the cluster's mode — hence its load — is constant, so
+//! the outage advances segment by segment instead of step by step. Each
+//! iteration finds the earliest of:
+//!
+//! * a mode-internal timer expiry (sleep entered, save finished, migration
+//!   copy→pause switch or completion, recovery booted) — known exactly;
+//! * the battery-depletion or supply-overload instant for the current
+//!   load, solved in closed form by
+//!   [`BackupSystem::first_shortfall`](dcb_power::BackupSystem::first_shortfall);
+//! * the DG-ramp crossover after which throttling serves no purpose;
+//! * the latest safe instant for a hybrid technique to fall back to its
+//!   save-state plan;
+//! * the instant a crashed cluster finds enough backup power to reboot;
+//! * outage end.
+//!
+//! The two predicate-shaped events (unthrottle, hybrid fallback) are
+//! located by [`first_true`] over charge-projected probes of the backup
+//! system; everything else falls out of the analytic supply model. The
+//! segment then commits through
+//! [`BackupSystem::supply_segment`](dcb_power::BackupSystem::supply_segment)
+//! — an exact Peukert ramp integral, not a sum of steps — and the mode
+//! transition fires. Results match the fixed-step oracle in
+//! [`stepper`](crate::OutageSim::run_stepped) as its step shrinks.
+
+use crate::engine::{Mode, OutageSim, RunState};
+use crate::events::first_true;
+use crate::segment::{Segment, SegmentEnd, Trajectory};
+use crate::Fallback;
+use dcb_power::BackupSystem;
+use dcb_server::{ThrottleLevel, TransitionTimes};
+use dcb_units::{contract, Fraction, Seconds, Watts};
+
+/// Event budget per outage. Real trajectories resolve in well under a
+/// hundred events; the cap is a modeling-bug backstop, not a tuning knob.
+const MAX_EVENTS: u32 = 10_000;
+
+/// What ends the segment under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// Restore full speed: the DG now carries the unthrottled load.
+    Unthrottle,
+    /// Latest safe instant to enter the hybrid fallback.
+    Fallback,
+    /// Battery depletion or supply overload.
+    Shortfall,
+    /// Migration copy phase gives way to the stop-and-copy pause.
+    Pause,
+    /// A mode-internal timer expired.
+    TimerDone,
+    /// A crashed cluster found enough power to reboot.
+    RecoveryReady,
+    /// Utility power returned.
+    End,
+}
+
+impl OutageSim {
+    /// Runs the event-driven solver against a fresh backup system and
+    /// returns the full segment trajectory alongside the outcome.
+    #[must_use]
+    pub fn run_trajectory(&self, outage: Seconds) -> Trajectory {
+        let mut backup = self.config().instantiate(self.cluster().peak_power());
+        self.run_with_backup_trajectory(outage, &mut backup)
+    }
+
+    /// Runs the event-driven solver against an existing backup system,
+    /// preserving its battery state of charge, and returns the full
+    /// segment trajectory alongside the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outage` is negative or non-finite.
+    #[must_use]
+    pub fn run_with_backup_trajectory(
+        &self,
+        outage: Seconds,
+        backup: &mut BackupSystem,
+    ) -> Trajectory {
+        assert!(
+            outage.value() >= 0.0 && outage.is_finite(),
+            "outage must be finite and non-negative"
+        );
+        let transitions = TransitionTimes::new(*self.cluster().spec());
+        let (mode, state_lost) = self.initial_mode(&transitions);
+        let mut st = RunState {
+            mode,
+            state_lost,
+            unplanned_crash: false,
+            crash_recovery_engaged: false,
+            serving_integral: 0.0,
+            downtime: Seconds::ZERO,
+        };
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut t = Seconds::ZERO;
+        let mut events = 0u32;
+        while t < outage {
+            events += 1;
+            contract!(
+                events <= MAX_EVENTS,
+                "event budget exceeded at t={t} in mode {:?}",
+                st.mode
+            );
+            if events > MAX_EVENTS {
+                break; // modeling-bug backstop; the contract above reports it
+            }
+
+            // Instantaneous transitions, in the stepper's per-step order.
+            self.apply_instantaneous(&mut st, backup, &transitions, t, outage);
+
+            // The segment's constant load, and the hard boundary: the next
+            // mode-internal timer, or outage end.
+            let load = self.supply_load(&st.mode, backup);
+            let timer: Option<(Seconds, Pending)> = match &st.mode {
+                Mode::Migrating {
+                    remaining, pause, ..
+                } => Some(if *remaining > *pause {
+                    (t + (*remaining - *pause), Pending::Pause)
+                } else {
+                    (t + *remaining, Pending::TimerDone)
+                }),
+                Mode::EnteringSleep { remaining, .. }
+                | Mode::Saving { remaining, .. }
+                | Mode::Recovering { remaining } => Some((t + *remaining, Pending::TimerDone)),
+                _ => None,
+            };
+            // A timer landing exactly on outage end still fires (the
+            // stepper progresses the mode within its final step).
+            let boundary = match timer {
+                Some((at, ev)) if at <= outage => (at, 3u8, ev),
+                _ => (outage, 4u8, Pending::End),
+            };
+            let hi = boundary.0;
+
+            // Candidate events inside (t, hi], tagged with a tie-breaking
+            // priority mirroring the stepper's within-step check order.
+            let mut cands: Vec<(Seconds, u8, Pending)> = vec![boundary];
+            if let Some(ts) = backup.first_shortfall(load, t, hi) {
+                cands.push((ts.max(t), 2, Pending::Shortfall));
+            }
+            if let Mode::Serving { level, share } = &st.mode {
+                if *level != ThrottleLevel::NONE {
+                    let full = Mode::Serving {
+                        level: ThrottleLevel::NONE,
+                        share: *share,
+                    };
+                    let full_load = self.supply_load(&full, backup);
+                    if let Some(tu) = first_true(t, hi, |tau| {
+                        self.project(backup, load, t, tau)
+                            .endurance(full_load, tau)
+                            .value()
+                            .is_infinite()
+                    }) {
+                        cands.push((tu, 0, Pending::Unthrottle));
+                    }
+                }
+            }
+            if let (Mode::Serving { .. }, Some(fb)) = (&st.mode, self.technique().fallback()) {
+                if let Some(tf) = first_true(t, hi, |tau| {
+                    let probe = self.project(backup, load, t, tau);
+                    self.must_fall_back(
+                        fb,
+                        &probe,
+                        &transitions,
+                        &st.mode,
+                        tau,
+                        outage,
+                        Seconds::ZERO,
+                    )
+                }) {
+                    cands.push((tf, 1, Pending::Fallback));
+                }
+            }
+            if matches!(st.mode, Mode::Crashed) {
+                let reboot_load = self.supply_load(
+                    &Mode::Recovering {
+                        remaining: Seconds::ZERO,
+                    },
+                    backup,
+                );
+                if let Some(tr) =
+                    first_true(t, hi, |tau| backup.available_power(tau) >= reboot_load)
+                {
+                    cands.push((tr, 2, Pending::RecoveryReady));
+                }
+            }
+
+            // Earliest event wins; on a dead-even tie the lower priority
+            // number (the check the stepper runs first) does.
+            let mut best = cands[0];
+            for &c in &cands[1..] {
+                if c.0 < best.0 || (c.0 <= best.0 && c.1 < best.1) {
+                    best = c;
+                }
+            }
+            let (when, _, what) = best;
+            let end = when.min(outage).max(t);
+
+            // Commit the segment: one exact Peukert ramp draw, no steps.
+            if end > t {
+                let sustained = backup.supply_segment(load, t, end);
+                contract!(
+                    ((end - t) - sustained).value().abs() < 1e-3,
+                    "segment [{t}, {end}] not fully sustained: {sustained}"
+                );
+                let (rate, down) = self.mode_rates(&st.mode);
+                st.serving_integral += rate * (end - t).value();
+                if down {
+                    st.downtime += end - t;
+                }
+                let ended_by = match what {
+                    Pending::Unthrottle => SegmentEnd::DgCrossover,
+                    Pending::Fallback => SegmentEnd::HybridFallback,
+                    Pending::Shortfall => match backup.ups() {
+                        Some(u) if u.is_depleted() => SegmentEnd::BatteryDepleted,
+                        _ => SegmentEnd::SupplyOverload,
+                    },
+                    Pending::Pause => SegmentEnd::MigrationPause,
+                    Pending::TimerDone => SegmentEnd::TimerExpired,
+                    Pending::RecoveryReady => SegmentEnd::RecoveryPower,
+                    Pending::End => SegmentEnd::OutageEnd,
+                };
+                segments.push(Segment {
+                    start: t,
+                    end,
+                    load,
+                    throughput: rate,
+                    in_downtime: down,
+                    ended_by,
+                });
+                // Timers tick down by the committed span.
+                let elapsed = end - t;
+                match &mut st.mode {
+                    Mode::Migrating { remaining, .. }
+                    | Mode::EnteringSleep { remaining, .. }
+                    | Mode::Saving { remaining, .. }
+                    | Mode::Recovering { remaining } => *remaining -= elapsed,
+                    _ => {}
+                }
+            }
+            t = end;
+
+            // Fire the event's transition.
+            match what {
+                Pending::End => {}
+                Pending::Pause => {
+                    // Pin the timer to the pause length exactly so the
+                    // copy→pause flip is not re-found a rounding error away.
+                    if let Mode::Migrating {
+                        remaining, pause, ..
+                    } = &mut st.mode
+                    {
+                        *remaining = *pause;
+                    }
+                }
+                Pending::TimerDone => {
+                    st.mode = match st.mode {
+                        Mode::Migrating { after, .. } => Mode::Serving {
+                            level: after,
+                            share: self.consolidated_share(),
+                        },
+                        Mode::EnteringSleep { .. } => self.sleep_target(),
+                        Mode::Saving { level, .. } => Mode::Hibernated {
+                            saved_throttled: level != ThrottleLevel::NONE,
+                        },
+                        Mode::Recovering { .. } => Mode::Serving {
+                            level: ThrottleLevel::NONE,
+                            share: Fraction::ONE,
+                        },
+                        other => other,
+                    };
+                }
+                Pending::Shortfall => self.apply_shortfall(&mut st),
+                Pending::Unthrottle => {
+                    if let Mode::Serving { share, .. } = st.mode {
+                        st.mode = Mode::Serving {
+                            level: ThrottleLevel::NONE,
+                            share,
+                        };
+                    }
+                }
+                Pending::Fallback => {
+                    if let Some(fb) = self.technique().fallback() {
+                        st.mode = self.fallback_mode(fb, &transitions);
+                    }
+                }
+                Pending::RecoveryReady => {
+                    st.crash_recovery_engaged = true;
+                    st.mode = Mode::Recovering {
+                        remaining: self.expected_recovery(),
+                    };
+                }
+            }
+        }
+
+        let outcome = self.assemble(outage, st, backup, &transitions);
+        let trajectory = Trajectory { segments, outcome };
+        trajectory.validate();
+        trajectory
+    }
+
+    /// Zero-duration transitions checked at the current instant, in the
+    /// stepper's per-step order: unthrottle, hybrid fallback, crash
+    /// recovery.
+    fn apply_instantaneous(
+        &self,
+        st: &mut RunState,
+        backup: &BackupSystem,
+        transitions: &TransitionTimes,
+        t: Seconds,
+        outage: Seconds,
+    ) {
+        if let Mode::Serving { level, share } = &st.mode {
+            if *level != ThrottleLevel::NONE {
+                let full = Mode::Serving {
+                    level: ThrottleLevel::NONE,
+                    share: *share,
+                };
+                let full_load = self.supply_load(&full, backup);
+                if backup.endurance(full_load, t).value().is_infinite() {
+                    st.mode = full;
+                }
+            }
+        }
+        if let (Mode::Serving { .. }, Some(fb)) = (&st.mode, self.technique().fallback()) {
+            if self.must_fall_back(fb, backup, transitions, &st.mode, t, outage, Seconds::ZERO) {
+                st.mode = self.fallback_mode(fb, transitions);
+            }
+        }
+        if matches!(st.mode, Mode::Crashed) {
+            let reboot_load = self.supply_load(
+                &Mode::Recovering {
+                    remaining: Seconds::ZERO,
+                },
+                backup,
+            );
+            if backup.available_power(t) >= reboot_load {
+                st.crash_recovery_engaged = true;
+                st.mode = Mode::Recovering {
+                    remaining: self.expected_recovery(),
+                };
+            }
+        }
+    }
+
+    /// The stepper's supply-failure transition, fired at the exact
+    /// shortfall instant.
+    fn apply_shortfall(&self, st: &mut RunState) {
+        match st.mode {
+            Mode::Hibernated { .. } | Mode::Crashed | Mode::NvdimmPersisted => {
+                // Zero-load modes cannot actually get here, but be safe:
+                // nothing more to lose.
+            }
+            Mode::Recovering { .. } => {
+                st.mode = Mode::Crashed; // power went away mid-reboot
+            }
+            Mode::Serving { .. }
+                if matches!(self.technique().fallback(), Some(Fallback::Nvdimm)) =>
+            {
+                // The in-DIMM supercapacitors flush state as power
+                // collapses: planned, nothing lost.
+                st.mode = Mode::NvdimmPersisted;
+            }
+            _ => {
+                // Losing state that was still intact is an unplanned
+                // failure of the technique; re-crashing a cluster whose
+                // state was already gone adds nothing the plan had
+                // promised to keep.
+                if !st.state_lost {
+                    st.unplanned_crash = true;
+                }
+                st.state_lost = true;
+                st.mode = Mode::Crashed;
+            }
+        }
+    }
+
+    /// The backup system as it will stand at `to`, assuming `load` is
+    /// drawn from `from` — the probe behind predicate-shaped event
+    /// searches. Only the battery charge is projected; DG availability is
+    /// a pure function of time.
+    fn project(
+        &self,
+        backup: &BackupSystem,
+        load: Watts,
+        from: Seconds,
+        to: Seconds,
+    ) -> BackupSystem {
+        let charge_now = backup.ups().map_or(0.0, |u| u.charge().value());
+        let used = backup.charge_used_for(load, from, to);
+        backup.with_ups_charge(Fraction::new((charge_now - used).max(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, Technique};
+    use dcb_power::BackupConfig;
+    use dcb_workload::Workload;
+
+    fn sim(config: BackupConfig, technique: Technique) -> OutageSim {
+        OutageSim::new(Cluster::rack(Workload::specjbb()), config, technique)
+    }
+
+    #[test]
+    fn trajectory_resolves_in_few_segments() {
+        let traj = sim(BackupConfig::max_perf(), Technique::ride_through())
+            .run_trajectory(Seconds::from_minutes(120.0));
+        // Constant serving load through the whole outage: a handful of
+        // segments, not 7200 steps.
+        assert!(
+            traj.segments.len() <= 4,
+            "expected O(#events) segments, got {}",
+            traj.segments.len()
+        );
+        assert!(matches!(
+            traj.segments.last().map(|s| s.ended_by),
+            Some(SegmentEnd::OutageEnd)
+        ));
+    }
+
+    #[test]
+    fn depletion_shows_up_as_an_event() {
+        let traj = sim(BackupConfig::no_dg(), Technique::ride_through())
+            .run_trajectory(Seconds::from_minutes(10.0));
+        assert!(
+            traj.segments
+                .iter()
+                .any(|s| s.ended_by == SegmentEnd::BatteryDepleted),
+            "segments: {:?}",
+            traj.segments
+        );
+        assert!(!traj.outcome.feasible);
+    }
+
+    #[test]
+    fn hybrid_fallback_is_a_located_event() {
+        let technique = Technique::throttle_sleep_l(crate::technique::low_power_level());
+        let traj = sim(BackupConfig::small_p_large_e_ups(), technique)
+            .run_trajectory(Seconds::from_minutes(120.0));
+        assert!(
+            traj.segments
+                .iter()
+                .any(|s| s.ended_by == SegmentEnd::HybridFallback),
+            "segments: {:?}",
+            traj.segments
+        );
+        assert!(traj.outcome.feasible);
+    }
+
+    #[test]
+    fn crashed_cluster_recovery_is_a_located_event() {
+        let traj = sim(BackupConfig::no_ups(), Technique::ride_through())
+            .run_trajectory(Seconds::from_minutes(120.0));
+        let kinds: Vec<SegmentEnd> = traj.segments.iter().map(|s| s.ended_by).collect();
+        assert!(
+            kinds.contains(&SegmentEnd::RecoveryPower) && kinds.contains(&SegmentEnd::TimerExpired),
+            "kinds: {kinds:?}"
+        );
+        assert!(traj.outcome.perf_during_outage.value() > 0.8);
+    }
+
+    #[test]
+    fn segments_tile_the_outage_exactly() {
+        for technique in [
+            Technique::ride_through(),
+            Technique::sleep_l(),
+            Technique::hibernate(),
+            Technique::migration(),
+        ] {
+            let traj = sim(BackupConfig::large_e_ups(), technique)
+                .run_trajectory(Seconds::from_minutes(45.0));
+            let mut cursor = Seconds::ZERO;
+            for seg in &traj.segments {
+                assert!((seg.start - cursor).value().abs() < 1e-6);
+                assert!(seg.duration().value() >= 0.0);
+                cursor = seg.end;
+            }
+            assert!((cursor.value() - 45.0 * 60.0).abs() < 1e-6);
+        }
+    }
+}

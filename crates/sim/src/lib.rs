@@ -4,7 +4,7 @@
 //! This crate is the experimental testbed of the reproduction. Where the
 //! paper subjects real servers to power-outage scenarios and records power
 //! (Yokogawa meter), application performance and down time (§6), we run a
-//! calibrated time-stepped simulation of a [`Cluster`] backed by a
+//! calibrated event-driven simulation of a [`Cluster`] backed by a
 //! [`dcb_power::BackupSystem`], executing one of the [`Technique`]s of
 //! Tables 4–6:
 //!
@@ -44,7 +44,11 @@
 mod cluster;
 mod datacenter;
 mod engine;
+mod events;
+mod kernel;
 mod outcome;
+mod segment;
+mod stepper;
 mod technique;
 mod trace;
 
@@ -52,5 +56,6 @@ pub use cluster::Cluster;
 pub use datacenter::{Datacenter, DatacenterOutcome, Section};
 pub use engine::OutageSim;
 pub use outcome::{FinalState, SimOutcome};
+pub use segment::{Segment, SegmentEnd, Trajectory};
 pub use technique::{low_power_level, Fallback, InitialAction, Technique};
 pub use trace::TraceOutcome;

@@ -1,0 +1,243 @@
+//! The legacy fixed-step solver, kept as a differential oracle for the
+//! event-driven kernel.
+//!
+//! This is the original engine loop, moved verbatim: advance in fixed
+//! steps (sub-second for short outages, a bounded step count for long
+//! ones), at each step deciding the cluster's load from its mode, drawing
+//! that load from the [`BackupSystem`], progressing transition timers, and
+//! accumulating metrics. Its results converge on the kernel's as the step
+//! shrinks — the property the differential test suite asserts — which is
+//! the only reason it survives; production callers use
+//! [`OutageSim::run`](crate::OutageSim::run).
+
+use crate::engine::{Mode, OutageSim, RunState};
+use crate::{Fallback, SimOutcome};
+use dcb_power::BackupSystem;
+use dcb_server::{ThrottleLevel, TransitionTimes};
+use dcb_units::{Fraction, Seconds};
+
+impl OutageSim {
+    /// Runs the fixed-step solver against a fresh backup system with the
+    /// historical step rule `max(outage / 7200, 0.25 s)`.
+    #[must_use]
+    pub fn run_stepped(&self, outage: Seconds) -> SimOutcome {
+        let mut backup = self.config().instantiate(self.cluster().peak_power());
+        self.run_with_backup_stepped(outage, &mut backup)
+    }
+
+    /// Runs the fixed-step solver against an existing backup system with
+    /// the historical step rule.
+    #[must_use]
+    pub fn run_with_backup_stepped(
+        &self,
+        outage: Seconds,
+        backup: &mut BackupSystem,
+    ) -> SimOutcome {
+        let step = Seconds::new((outage.value() / 7200.0).max(0.25));
+        self.run_with_backup_stepped_at(outage, backup, step)
+    }
+
+    /// Runs the fixed-step solver with an explicit step size — the knob the
+    /// differential suite turns to show stepped results converge on the
+    /// kernel's as `step → 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outage` is negative or non-finite, or `step` is not
+    /// strictly positive.
+    #[must_use]
+    pub fn run_with_backup_stepped_at(
+        &self,
+        outage: Seconds,
+        backup: &mut BackupSystem,
+        step: Seconds,
+    ) -> SimOutcome {
+        assert!(
+            outage.value() >= 0.0 && outage.is_finite(),
+            "outage must be finite and non-negative"
+        );
+        assert!(step.value() > 0.0, "step must be positive");
+        let transitions = TransitionTimes::new(*self.cluster().spec());
+        let w = *self.cluster().workload();
+        let (mut mode, mut state_lost) = self.initial_mode(&transitions);
+        let mut unplanned_crash = false;
+        let mut crash_recovery_engaged = false;
+        let mut serving_integral = 0.0; // normalized-throughput seconds
+        let mut downtime = Seconds::ZERO;
+        let expected_recovery = self.expected_recovery();
+
+        let mut t = Seconds::ZERO;
+        while t < outage {
+            let dt = step.min(outage - t);
+            // Once a DG has ramped up far enough to carry the *unthrottled*
+            // load indefinitely, throttling serves no purpose: restore full
+            // speed (the paper throttles only to ride the DG start-up).
+            if let Mode::Serving { level, share } = &mode {
+                if *level != ThrottleLevel::NONE {
+                    let full = Mode::Serving {
+                        level: ThrottleLevel::NONE,
+                        share: *share,
+                    };
+                    let full_load = self.supply_load(&full, backup);
+                    if backup.endurance(full_load, t).value().is_infinite() {
+                        mode = full;
+                    }
+                }
+            }
+            // Hybrid fallback decision.
+            if let (Mode::Serving { .. }, Some(fb)) = (&mode, self.technique().fallback()) {
+                if self.must_fall_back(fb, backup, &transitions, &mode, t, outage, dt) {
+                    mode = self.fallback_mode(fb, &transitions);
+                }
+            }
+            let load = self.supply_load(&mode, backup);
+            let supply = backup.supply(load, t, dt);
+            if !supply.fully_covered() {
+                // Credit the portion that was sustained, then crash.
+                let sustained = supply.sustained;
+                match &mode {
+                    Mode::Serving { level, share } => {
+                        serving_integral +=
+                            w.throughput_at(level.effective_speed(), *share).value()
+                                * sustained.value();
+                        downtime += dt - sustained;
+                    }
+                    Mode::Migrating { during, .. } => {
+                        serving_integral += w
+                            .throughput_at(during.effective_speed(), Fraction::ONE)
+                            .value()
+                            * sustained.value();
+                        downtime += dt - sustained;
+                    }
+                    _ => downtime += dt,
+                }
+                match mode {
+                    Mode::Hibernated { .. } | Mode::Crashed | Mode::NvdimmPersisted => {
+                        // Zero-load modes cannot actually get here, but be
+                        // safe: nothing more to lose.
+                    }
+                    Mode::Recovering { .. } => {
+                        mode = Mode::Crashed; // power went away mid-reboot
+                    }
+                    Mode::Serving { .. }
+                        if matches!(self.technique().fallback(), Some(Fallback::Nvdimm)) =>
+                    {
+                        // The in-DIMM supercapacitors flush state as power
+                        // collapses: planned, nothing lost.
+                        mode = Mode::NvdimmPersisted;
+                    }
+                    _ => {
+                        // Losing state that was still intact is an
+                        // unplanned failure of the technique; re-crashing a
+                        // cluster whose state was already gone (e.g. a
+                        // battery-powered reboot that ran dry) adds nothing
+                        // the plan had promised to keep.
+                        if !state_lost {
+                            unplanned_crash = true;
+                        }
+                        state_lost = true;
+                        mode = Mode::Crashed;
+                    }
+                }
+                t += dt;
+                continue;
+            }
+
+            // Power fully supplied: progress the mode.
+            match &mut mode {
+                Mode::Serving { level, share } => {
+                    serving_integral +=
+                        w.throughput_at(level.effective_speed(), *share).value() * dt.value();
+                }
+                Mode::Migrating {
+                    after,
+                    remaining,
+                    pause,
+                    during,
+                } => {
+                    if *remaining > *pause {
+                        serving_integral += w
+                            .throughput_at(during.effective_speed(), Fraction::ONE)
+                            .value()
+                            * dt.value();
+                    } else {
+                        downtime += dt; // stop-and-copy pause
+                    }
+                    *remaining -= dt;
+                    if remaining.value() <= 0.0 {
+                        mode = Mode::Serving {
+                            level: *after,
+                            share: self.consolidated_share(),
+                        };
+                    }
+                }
+                Mode::EnteringSleep { remaining, .. } => {
+                    downtime += dt;
+                    *remaining -= dt;
+                    if remaining.value() <= 0.0 {
+                        mode = self.sleep_target();
+                    }
+                }
+                Mode::Sleeping => downtime += dt,
+                Mode::SleepingRemote => {
+                    // Remote peers keep answering reads from this memory.
+                    serving_integral += w.remote_serve_fraction().value() * dt.value();
+                }
+                Mode::NvdimmPersisted => downtime += dt,
+                Mode::Saving { remaining, level } => {
+                    downtime += dt;
+                    *remaining -= dt;
+                    if remaining.value() <= 0.0 {
+                        mode = Mode::Hibernated {
+                            saved_throttled: *level != ThrottleLevel::NONE,
+                        };
+                    }
+                }
+                Mode::Hibernated { .. } => downtime += dt,
+                Mode::Crashed => {
+                    downtime += dt;
+                    // A sufficiently ramped DG lets the cluster reboot
+                    // mid-outage (NoUPS: "DG translates long outages into
+                    // short ones").
+                    let reboot_load = self.supply_load(
+                        &Mode::Recovering {
+                            remaining: Seconds::ZERO,
+                        },
+                        backup,
+                    );
+                    if backup.available_power(t + dt) >= reboot_load {
+                        crash_recovery_engaged = true;
+                        mode = Mode::Recovering {
+                            remaining: expected_recovery,
+                        };
+                    }
+                }
+                Mode::Recovering { remaining } => {
+                    downtime += dt;
+                    *remaining -= dt;
+                    if remaining.value() <= 0.0 {
+                        mode = Mode::Serving {
+                            level: ThrottleLevel::NONE,
+                            share: Fraction::ONE,
+                        };
+                    }
+                }
+            }
+            t += dt;
+        }
+
+        self.assemble(
+            outage,
+            RunState {
+                mode,
+                state_lost,
+                unplanned_crash,
+                crash_recovery_engaged,
+                serving_integral,
+                downtime,
+            },
+            backup,
+            &transitions,
+        )
+    }
+}

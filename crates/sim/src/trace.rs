@@ -8,7 +8,7 @@
 //! [`dcb_power::BackupSystem`] through every outage of a yearly trace,
 //! recharging during the gaps, and aggregates availability.
 
-use crate::{OutageSim, SimOutcome};
+use crate::{OutageSim, SimOutcome, Trajectory};
 use dcb_outage::OutageTrace;
 use dcb_units::{Fraction, Seconds};
 
@@ -74,9 +74,27 @@ impl OutageSim {
     /// Panics if `span` is not positive.
     #[must_use]
     pub fn run_trace(&self, trace: &OutageTrace, span: Seconds) -> TraceOutcome {
+        self.run_trace_trajectories(trace, span).0
+    }
+
+    /// Like [`run_trace`](Self::run_trace), but also returns the full
+    /// event-kernel [`Trajectory`] of every outage, in trace order. The
+    /// aggregate outcome is assembled from exactly these trajectories, so
+    /// `outcome.outcomes[i] == trajectories[i].outcome` holds identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is not positive.
+    #[must_use]
+    pub fn run_trace_trajectories(
+        &self,
+        trace: &OutageTrace,
+        span: Seconds,
+    ) -> (TraceOutcome, Vec<Trajectory>) {
         assert!(span.value() > 0.0, "trace span must be positive");
         let mut backup = self.config().instantiate(self.cluster().peak_power());
         let mut outcomes = Vec::with_capacity(trace.len());
+        let mut trajectories = Vec::with_capacity(trace.len());
         let mut last_end = Seconds::ZERO;
         for outage in trace.outages() {
             let gap = (outage.start - last_end).max(Seconds::ZERO);
@@ -84,14 +102,19 @@ impl OutageSim {
             // Diurnal workloads see the utilization of the hour the outage
             // strikes.
             let resolved = self.resolved_at(outage.start);
-            outcomes.push(resolved.run_with_backup(outage.duration, &mut backup));
+            let trajectory = resolved.run_with_backup_trajectory(outage.duration, &mut backup);
+            outcomes.push(trajectory.outcome.clone());
+            trajectories.push(trajectory);
             last_end = outage.end();
         }
-        TraceOutcome {
-            outcomes,
-            span,
-            battery_cycles: backup.battery_cycles(),
-        }
+        (
+            TraceOutcome {
+                outcomes,
+                span,
+                battery_cycles: backup.battery_cycles(),
+            },
+            trajectories,
+        )
     }
 }
 
@@ -194,6 +217,61 @@ mod tests {
             worst = worst.max(outcome.battery_cycles);
         }
         assert!(worst < 15.0, "worst yearly cycles {worst}");
+    }
+
+    #[test]
+    fn trace_outcomes_are_exactly_the_trajectory_outcomes() {
+        let trace = OutageTrace::new(vec![
+            Outage {
+                start: Seconds::ZERO,
+                duration: Seconds::from_minutes(1.8),
+            },
+            Outage {
+                start: Seconds::from_minutes(12.0),
+                duration: Seconds::from_minutes(1.8),
+            },
+            Outage {
+                start: Seconds::from_hours(40.0),
+                duration: Seconds::from_minutes(30.0),
+            },
+        ]);
+        let s = sim(BackupConfig::no_dg());
+        let (outcome, trajectories) = s.run_trace_trajectories(&trace, Seconds::new(YEAR));
+        assert_eq!(outcome.outcomes.len(), trajectories.len());
+        for (o, t) in outcome.outcomes.iter().zip(&trajectories) {
+            assert_eq!(*o, t.outcome, "trace outcome drifted from trajectory");
+            // The outcome's integrals reconstruct exactly from segments.
+            let served = t.served_seconds();
+            assert!(
+                (served - o.perf_during_outage.value() * o.outage.value()).abs()
+                    < 1e-9 * o.outage.value().max(1.0),
+                "served {served} vs outcome"
+            );
+            assert!((t.downtime_seconds() - o.downtime_during_outage.value()).abs() < 1e-9);
+        }
+        // And the plain run_trace is the same computation.
+        assert_eq!(s.run_trace(&trace, Seconds::new(YEAR)), outcome);
+    }
+
+    #[test]
+    fn trace_trajectories_round_trip_through_json() {
+        let trace = OutageTrace::new(vec![
+            Outage {
+                start: Seconds::from_hours(2.0),
+                duration: Seconds::from_minutes(1.8),
+            },
+            Outage {
+                start: Seconds::from_hours(3.0),
+                duration: Seconds::from_minutes(10.0),
+            },
+        ]);
+        let (_, trajectories) =
+            sim(BackupConfig::no_dg()).run_trace_trajectories(&trace, Seconds::new(YEAR));
+        for t in &trajectories {
+            let wire = t.to_json();
+            let back = crate::Trajectory::from_json(&wire).expect("wire format parses");
+            assert_eq!(*t, back, "JSON round-trip must be bit-exact");
+        }
     }
 
     #[test]
