@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --release
 
+echo "== cargo doc --no-deps (rustdoc, missing_docs warnings fatal via clippy above)"
+cargo doc --no-deps --workspace -q
+
 echo "== cargo test -q (tier-1)"
 cargo test -q
 
@@ -27,6 +30,12 @@ cargo run --release -q -p dcb-audit -- check
 
 echo "== dcb-audit self-test (fixtures + lexer + lints)"
 cargo test -q -p dcb-audit
+
+echo "== dcb-audit telemetry read-fence self-test (lint fixture)"
+cargo test -q -p dcb-audit --test selftest telemetry
+
+echo "== dcb-audit docs (markdown links + DESIGN.md section references)"
+cargo run --release -q -p dcb-audit -- docs
 
 echo "== dcb-audit sweep (model contracts over the Table 3 grid)"
 cargo run --release -q -p dcb-audit -- sweep

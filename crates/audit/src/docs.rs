@@ -1,0 +1,228 @@
+//! Documentation link checker.
+//!
+//! The repo's markdown docs cross-reference each other two ways: relative
+//! file links (`[DESIGN.md](DESIGN.md)`) and section references into the
+//! design document (`DESIGN.md §8`, or a bare `§8` inside DESIGN.md
+//! itself). Both rot silently — a renamed file or a renumbered section
+//! leaves a dangling pointer no compiler sees. This module walks the
+//! repo-authored top-level docs and verifies:
+//!
+//! 1. every relative markdown link target exists on disk, and
+//! 2. every `§N` design-section reference resolves to a `## N.` heading
+//!    in DESIGN.md.
+//!
+//! Externally sourced context files (the paper text, related-work dumps,
+//! the per-PR issue) are excluded: they cite the *paper's* sections and
+//! external artifacts, not this repo's docs.
+
+use std::fmt;
+use std::path::Path;
+
+/// Top-level markdown files whose cross-references we own and verify.
+const DOC_FILES: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "OBSERVABILITY.md",
+    "CHANGELOG.md",
+    "ROADMAP.md",
+];
+
+/// One broken reference in a documentation file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocFinding {
+    /// Path of the file containing the reference, relative to the root.
+    pub file: String,
+    /// 1-based line of the reference.
+    pub line: usize,
+    /// What is broken and why.
+    pub message: String,
+}
+
+impl fmt::Display for DocFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+/// Checks every repo-authored top-level doc under `root`. Missing doc
+/// files are themselves findings (the set above is the contract), except
+/// that an absent DESIGN.md turns section checking off rather than
+/// cascading one finding per reference.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error message if a present file cannot be
+/// read.
+pub fn check_docs(root: &Path) -> Result<Vec<DocFinding>, String> {
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    let sections = design.as_deref().map(design_sections);
+    let mut findings = Vec::new();
+    for &name in DOC_FILES {
+        let path = root.join(name);
+        if !path.is_file() {
+            findings.push(DocFinding {
+                file: name.to_owned(),
+                line: 1,
+                message: "expected documentation file is missing".to_owned(),
+            });
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        findings.extend(check_doc(root, name, &text, sections.as_deref()));
+    }
+    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(findings)
+}
+
+/// Checks one already-loaded doc. `sections` is the list of `## N.`
+/// numbers present in DESIGN.md, or `None` to skip section checking.
+#[must_use]
+pub fn check_doc(root: &Path, name: &str, text: &str, sections: Option<&[u32]>) -> Vec<DocFinding> {
+    let mut findings = check_links(root, name, text);
+    if let Some(sections) = sections {
+        findings.extend(check_section_refs(name, text, sections));
+    }
+    findings
+}
+
+/// Extracts the section numbers of `## N.` headings ("## 8. Lints" → 8).
+#[must_use]
+pub fn design_sections(text: &str) -> Vec<u32> {
+    let mut numbers = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("## ") else {
+            continue;
+        };
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if !digits.is_empty() && rest[digits.len()..].starts_with('.') {
+            if let Ok(n) = digits.parse() {
+                numbers.push(n);
+            }
+        }
+    }
+    numbers
+}
+
+/// Verifies every relative `[text](target)` link target exists on disk.
+/// External (`scheme://`, `mailto:`) and pure-anchor (`#…`) targets are
+/// skipped; a `#anchor` suffix on a file target is stripped first.
+fn check_links(root: &Path, name: &str, text: &str) -> Vec<DocFinding> {
+    let mut findings = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let after = &rest[open + 2..];
+            let Some(close) = after.find(')') else {
+                break;
+            };
+            let target = &after[..close];
+            rest = &after[close + 1..];
+            let target = target.split('#').next().unwrap_or_default();
+            if target.is_empty()
+                || target.contains("://")
+                || target.starts_with("mailto:")
+                || target.contains(char::is_whitespace)
+            {
+                continue;
+            }
+            if !root.join(target).exists() {
+                findings.push(DocFinding {
+                    file: name.to_owned(),
+                    line: idx + 1,
+                    message: format!("link target `{target}` does not exist"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Verifies `§N` design-section references. In DESIGN.md every `§N` is a
+/// self-reference; in any other doc only `DESIGN.md §N` (the qualifier may
+/// sit on the previous line after wrapping) points here — a bare `§N`
+/// elsewhere cites the paper and is left alone.
+fn check_section_refs(name: &str, text: &str, sections: &[u32]) -> Vec<DocFinding> {
+    let mut findings = Vec::new();
+    let self_doc = name == "DESIGN.md";
+    for (pos, _) in text.match_indices('§') {
+        let digits: String = text[pos + '§'.len_utf8()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        let Ok(number) = digits.parse::<u32>() else {
+            continue;
+        };
+        let qualified = text[..pos].trim_end().ends_with("DESIGN.md");
+        if (self_doc || qualified) && !sections.contains(&number) {
+            let line = text[..pos].matches('\n').count() + 1;
+            findings.push(DocFinding {
+                file: name.to_owned(),
+                line,
+                message: format!(
+                    "section reference §{number} has no `## {number}.` heading in DESIGN.md"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_root() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcb-audit-docs-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn design_heading_numbers_are_extracted() {
+        let text = "# T\n## 1. One\nbody\n## 10. Ten\n### 2.1 not a section\n## Appendix\n";
+        assert_eq!(design_sections(text), vec![1, 10]);
+    }
+
+    #[test]
+    fn missing_link_target_is_a_finding_existing_is_not() {
+        let root = tmp_root();
+        std::fs::write(root.join("HERE.md"), "x").unwrap();
+        let text = "see [a](HERE.md) and [b](GONE.md) and [web](https://x.y/z.md)\n";
+        let findings = check_links(&root, "README.md", text);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("GONE.md"));
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn anchor_only_and_anchored_links_are_handled() {
+        let root = tmp_root();
+        std::fs::write(root.join("HERE.md"), "x").unwrap();
+        let text = "[top](#intro) then [sec](HERE.md#part)\n";
+        assert!(check_links(&root, "README.md", text).is_empty());
+    }
+
+    #[test]
+    fn qualified_section_refs_are_checked_and_wrap_across_lines() {
+        let sections = [8, 10];
+        let ok = "see DESIGN.md §8 and DESIGN.md\n§10 too";
+        assert!(check_section_refs("README.md", ok, &sections).is_empty());
+        let bad = "see DESIGN.md §99";
+        let findings = check_section_refs("README.md", bad, &sections);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("§99"));
+    }
+
+    #[test]
+    fn bare_refs_count_only_inside_design_md() {
+        let sections = [8];
+        let text = "the paper's §7 motivates this";
+        assert!(check_section_refs("README.md", text, &sections).is_empty());
+        let findings = check_section_refs("DESIGN.md", text, &sections);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+    }
+}

@@ -16,8 +16,13 @@
 //!    are force-enabled and the paper's Table 3 / Figure 5–6 evaluation
 //!    surface is replayed under them.
 //!
-//! The `dcb-audit` binary fronts both: `check` (exit 1 on findings),
-//! `lints` (print the rule matrix), `sweep` (exit 1 on violations).
+//! A third, smaller layer keeps the *prose* honest: [`docs`] verifies
+//! the top-level markdown cross-references — relative file links and
+//! `DESIGN.md §N` section pointers — against what actually exists.
+//!
+//! The `dcb-audit` binary fronts all of it: `check` (exit 1 on findings),
+//! `lints` (print the rule matrix), `sweep` (exit 1 on violations),
+//! `docs` (exit 1 on broken references).
 //!
 //! The analyzer holds itself to its own rules: no panicking paths (errors
 //! are data), `BTreeMap`/`Vec` only, no wall-clock reads.
@@ -25,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod docs;
 pub mod lexer;
 pub mod lints;
 pub mod report;

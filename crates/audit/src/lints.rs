@@ -55,9 +55,9 @@ pub fn all() -> Vec<LintSpec> {
         },
         LintSpec {
             name: "time-source",
-            summary: "Instant/SystemTime reads make results wall-clock dependent (benches are exempt by role)",
+            summary: "Instant/SystemTime reads make results wall-clock dependent (benches are exempt by role; dcb-telemetry owns the one sanctioned clock, quarantined as volatile)",
             roles: &[Role::Library, Role::Binary],
-            exempt_crates: &[],
+            exempt_crates: &["telemetry"],
             skip_in_test: true,
             check: time_source,
         },
@@ -76,6 +76,14 @@ pub fn all() -> Vec<LintSpec> {
             exempt_crates: &["sim"],
             skip_in_test: true,
             check: stepped_sim,
+        },
+        LintSpec {
+            name: "telemetry-in-result",
+            summary: "reading telemetry values (Snapshot, dcb_telemetry::snapshot/report) inside model code lets observability feed back into results; only report edges (bench) may read",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &["telemetry", "bench", "audit"],
+            skip_in_test: true,
+            check: telemetry_in_result,
         },
         LintSpec {
             name: "panic-site",
@@ -323,6 +331,40 @@ fn stepped_sim(tokens: &[Token]) -> Vec<(u32, String)> {
         .collect()
 }
 
+/// `telemetry-in-result`: reads of telemetry state — the `Snapshot` type,
+/// or `dcb_telemetry::snapshot`/`report`/`report_with` — in model code.
+/// Recording (counter!/histogram!/span) is always fine; *reading* values
+/// back is fenced to the report edges so observability can never steer a
+/// result.
+fn telemetry_in_result(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.kind.ident() else { continue };
+        if name == "Snapshot" {
+            out.push((
+                t.line,
+                "telemetry `Snapshot` in model code; metric values may only be read at report edges (bench)".to_owned(),
+            ));
+            continue;
+        }
+        if name == "dcb_telemetry"
+            && tokens.get(i + 1).is_some_and(|n| n.kind.is_op("::"))
+            && tokens.get(i + 2).is_some_and(|n| {
+                n.kind
+                    .ident()
+                    .is_some_and(|f| f == "snapshot" || f == "report" || f == "report_with")
+            })
+        {
+            let read = tokens[i + 2].kind.ident().unwrap_or_default();
+            out.push((
+                t.line,
+                format!("`dcb_telemetry::{read}` reads telemetry back into model code; only report edges (bench) may read"),
+            ));
+        }
+    }
+    out
+}
+
 /// `panic-site`: `.unwrap(`, `.expect(`, `panic!`, `todo!`,
 /// `unimplemented!` in library code.
 fn panic_site(tokens: &[Token]) -> Vec<(u32, String)> {
@@ -420,6 +462,26 @@ mod tests {
         let mut f = lib_file();
         f.role = Role::Bench;
         assert!(check_file(&f, &scan("fn f() { sim.run_stepped(d); }")).is_empty());
+    }
+
+    #[test]
+    fn telemetry_reads_are_fenced() {
+        assert_eq!(
+            check("fn f() { let s = dcb_telemetry::snapshot(); }").len(),
+            1
+        );
+        assert_eq!(
+            check("fn f() { let _ = dcb_telemetry::report(); }").len(),
+            1
+        );
+        assert_eq!(check("fn f(s: &Snapshot) {}").len(), 1);
+        // Recording is not a read.
+        assert!(check("fn f() { dcb_telemetry::counter!(\"x\").incr(); }").is_empty());
+        assert!(check("fn f() { let _g = dcb_telemetry::span(\"x\"); }").is_empty());
+        // The report edge is exempt by crate.
+        let mut f = lib_file();
+        f.crate_name = "bench".to_owned();
+        assert!(check_file(&f, &scan("fn f() { let _ = dcb_telemetry::report(); }")).is_empty());
     }
 
     #[test]

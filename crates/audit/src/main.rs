@@ -6,12 +6,12 @@
 //! dcb-audit sweep                            # contract replay; exit 1 on violations
 //! ```
 
-use dcb_audit::{check_workspace, lints, report, sweep};
+use dcb_audit::{check_workspace, docs, lints, report, sweep};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: dcb-audit <check [--json] [--root <path>] | lints | sweep>"
+    "usage: dcb-audit <check [--json] [--root <path>] | lints | sweep | docs [--root <path>]>"
 }
 
 /// Finds the workspace root: `--root` if given, else ascend from the
@@ -91,6 +91,32 @@ fn cmd_lints() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_docs(args: &[String]) -> Result<ExitCode, String> {
+    let mut root = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let path = it.next().ok_or("--root needs a path")?;
+                root = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown docs option `{other}`\n{}", usage())),
+        }
+    }
+    let root = find_root(root)?;
+    let findings = docs::check_docs(&root)?;
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("docs: all markdown links and DESIGN.md section references resolve");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("docs: {} broken reference(s)", findings.len());
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 fn cmd_sweep() -> ExitCode {
     let summary = sweep::run();
     print!("{}", summary.render());
@@ -107,6 +133,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("lints") => Ok(cmd_lints()),
         Some("sweep") => Ok(cmd_sweep()),
+        Some("docs") => cmd_docs(&args[1..]),
         _ => Err(usage().to_owned()),
     };
     match result {

@@ -1,0 +1,17 @@
+//! Fixture: telemetry reads in model code (3 expected
+//! `telemetry-in-result` findings). Recording sites (counter!/span) are
+//! deliberately present and must stay clean — only *reads* are fenced.
+
+pub fn steer_by_metrics() -> u64 {
+    dcb_telemetry::counter!("fixture.model.steps").incr();
+    let snap = dcb_telemetry::snapshot();
+    snap.counter("fixture.model.steps").unwrap_or(0)
+}
+
+pub fn report_from_model() {
+    let _ = dcb_telemetry::report();
+}
+
+pub fn hold_a_snapshot(snap: &Snapshot) -> bool {
+    snap.spans.is_empty()
+}

@@ -44,6 +44,7 @@ fn every_lint_class_is_detected() {
         ("thread_spawn.rs", "thread-spawn", 2),
         ("panic_site.rs", "panic-site", 4),
         ("stepped_sim.rs", "stepped-sim", 2),
+        ("telemetry_in_result.rs", "telemetry-in-result", 3),
     ] {
         let found = audit_fixture(fixture);
         assert_eq!(
@@ -58,6 +59,28 @@ fn every_lint_class_is_detected() {
             "{fixture} leaked extra lints: {found:?}"
         );
     }
+}
+
+#[test]
+fn telemetry_reads_fenced_but_recording_allowed() {
+    // The fixture mixes record sites (counter!, incr) with reads
+    // (snapshot(), report(), a Snapshot binding): exactly the reads fire.
+    let found = audit_fixture("telemetry_in_result.rs");
+    assert_eq!(count(&found, "telemetry-in-result"), 3, "found {found:?}");
+    // Recording alone is clean in model code.
+    let file = SourceFile {
+        path: PathBuf::from("crates/x/src/lib.rs"),
+        rel: "crates/x/src/lib.rs".to_owned(),
+        role: Role::Library,
+        crate_name: "x".to_owned(),
+    };
+    let recording_only = "pub fn f() {\n    dcb_telemetry::counter!(\"x.events\").incr();\n    let _s = dcb_telemetry::span(\"x\");\n}\n";
+    assert!(check_source(&file, recording_only).is_empty());
+    // The report edges (bench) are exempt by crate.
+    let mut bench_file = file;
+    bench_file.crate_name = "bench".to_owned();
+    let reads = "pub fn f() { let _ = dcb_telemetry::report(); }";
+    assert!(check_source(&bench_file, reads).is_empty());
 }
 
 #[test]

@@ -284,6 +284,7 @@ impl Battery {
                 // available power) agrees with the analytic depletion time.
                 let left = self.charge.value() - used;
                 self.charge = if left < Self::CHARGE_DUST {
+                    dcb_telemetry::counter!("battery.dust_snaps").incr();
                     Fraction::ZERO
                 } else {
                     Fraction::new(left)

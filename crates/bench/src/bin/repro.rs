@@ -10,6 +10,9 @@
 use dcb_bench::{all_exhibits, extra_exhibits, tables, verify};
 
 fn main() {
+    // Enables metric collection when DCB_TELEMETRY=json|text; the default
+    // NullSink leaves every record site at one branch.
+    dcb_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all_exhibits()
@@ -28,6 +31,7 @@ fn main() {
     for name in &wanted {
         match name.as_str() {
             "verify" => {
+                let _span = dcb_telemetry::span("verify");
                 println!("== Headline claim verification ==");
                 let mut failed = false;
                 for (claim, check) in verify::verify_all() {
@@ -45,13 +49,23 @@ fn main() {
                 }
             }
             "sensitivity" => {
+                let _span = dcb_telemetry::span("sensitivity");
                 println!("{}", tables::state_size_sensitivity());
             }
             _ => match exhibits.iter().find(|(n, _)| n == name) {
-                Some((_, generate)) => println!("{}", generate()),
+                Some(&(exhibit, generate)) => {
+                    let _span = dcb_telemetry::span(exhibit);
+                    println!("{}", generate());
+                }
                 None => unknown.push(name.clone()),
             },
         }
+    }
+    // Under the default NullSink this renders nothing; with
+    // DCB_TELEMETRY=json the stable snapshot is byte-reproducible across
+    // runs and DCB_THREADS settings (asserted by tests/telemetry_snapshot.rs).
+    if let Some(report) = dcb_telemetry::report() {
+        print!("{report}");
     }
     if !unknown.is_empty() {
         eprintln!(

@@ -80,6 +80,10 @@ pub fn evaluate(
     duration: Seconds,
 ) -> Performability {
     let outcome = OutageSim::new(*cluster, config.clone(), technique.clone()).run(duration);
+    dcb_telemetry::counter!("core.evaluate.scenarios").incr();
+    if !outcome.feasible {
+        dcb_telemetry::counter!("core.evaluate.infeasible").incr();
+    }
     Performability {
         config: config.label().to_owned(),
         technique: technique.name().to_owned(),
@@ -155,6 +159,7 @@ pub fn sweep_configs(
     catalog: &[Technique],
 ) -> Vec<Performability> {
     assert!(!catalog.is_empty(), "technique catalog must not be empty");
+    let _span = dcb_telemetry::span("sweep_configs");
     let mut scenarios = Vec::with_capacity(configs.len() * durations.len() * catalog.len());
     for config in configs {
         for &duration in durations {
@@ -182,6 +187,7 @@ pub fn sweep_techniques(
     durations: &[Seconds],
     catalog: &[Technique],
 ) -> Vec<Performability> {
+    let _span = dcb_telemetry::span("sweep_techniques");
     let mut scenarios = Vec::with_capacity(catalog.len() * durations.len());
     for technique in catalog {
         for &duration in durations {

@@ -110,6 +110,7 @@ pub fn min_cost_ups(
     duration: Seconds,
     targets: &SizingTargets,
 ) -> Option<SizedPoint> {
+    dcb_telemetry::counter!("core.sizing.searches").incr();
     // Price the baseline once, outside the fraction loop.
     let normalizer = CostModel::paper().normalizer();
     // Generous energy ceiling: ride the whole outage plus save overheads.
@@ -124,7 +125,10 @@ pub fn min_cost_ups(
             targets.satisfied_by(&p).then_some(p)
         };
         // The ceiling must work at this power level at all.
-        try_runtime(max_runtime)?;
+        if try_runtime(max_runtime).is_none() {
+            dcb_telemetry::counter!("core.sizing.ceiling_infeasible").incr();
+            return None;
+        }
         // Bisect the minimal runtime to 1-minute granularity.
         let mut lo = BackupConfig::FREE_RUNTIME;
         let mut hi = max_runtime;
@@ -177,6 +181,7 @@ pub fn technique_tradeoffs(
     durations: &[Seconds],
     targets: &SizingTargets,
 ) -> Vec<(Technique, Seconds, Option<SizedPoint>)> {
+    let _span = dcb_telemetry::span("technique_tradeoffs");
     let mut cells = Vec::with_capacity(catalog.len() * durations.len());
     for technique in catalog {
         for &duration in durations {

@@ -100,11 +100,18 @@ impl<V: Clone> EvalCache<V> {
     /// Returns the cached value for `key`, computing and caching it on a
     /// miss. `compute` runs outside the shard lock.
     pub fn get_or_compute(&self, key: u128, compute: impl FnOnce() -> V) -> V {
+        // Both counters register up front (registration is a cached
+        // OnceLock read) so the derived hit rate appears in snapshots even
+        // for all-miss workloads.
+        let hit_events = dcb_telemetry::counter!("fleet.cache.hits");
+        let miss_events = dcb_telemetry::counter!("fleet.cache.misses");
         if let Some(value) = self.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            hit_events.incr();
             return value;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        miss_events.incr();
         let value = compute();
         lock_shard(self.shard(key))
             .entry(key)
@@ -129,6 +136,7 @@ impl<V: Clone> EvalCache<V> {
 
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
+        dcb_telemetry::counter!("fleet.cache.evictions").add(self.len() as u64);
         for shard in &self.shards {
             lock_shard(shard).clear();
         }

@@ -75,6 +75,10 @@ impl FleetPool {
         }
         let queue = AtomicUsize::new(0);
         let workers = self.threads.min(items.len());
+        // Scheduling shape (how many workers spawned, how the queue split
+        // across them) varies with DCB_THREADS, so these are volatile.
+        dcb_telemetry::volatile_counter!("fleet.pool.batches").incr();
+        dcb_telemetry::volatile_counter!("fleet.pool.workers_spawned").add(workers as u64);
         let mut harvested: Vec<(usize, R)> = Vec::with_capacity(items.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -90,6 +94,8 @@ impl FleetPool {
                             local.push((index, eval(&items[index])));
                         }
                         IN_FLEET_WORKER.set(false);
+                        dcb_telemetry::volatile_histogram!("fleet.pool.tasks_per_worker")
+                            .observe(local.len() as u64);
                         local
                     })
                 })
@@ -127,6 +133,10 @@ impl FleetPool {
             shards.clamp(1, trials)
         };
         let ranges = split_even(trials, shards);
+        // Trial count is workload-determined; the shard layout is not (the
+        // default shard count scales with the worker count).
+        dcb_telemetry::counter!("fleet.pool.monte_carlo_trials").add(trials as u64);
+        dcb_telemetry::volatile_counter!("fleet.pool.monte_carlo_shards").add(shards as u64);
         let chunks = self.run_all(&ranges, |range| {
             range
                 .clone()

@@ -29,6 +29,7 @@ pub(crate) fn first_true(
     if hi <= lo {
         return None;
     }
+    dcb_telemetry::counter!("sim.events.first_true_calls").incr();
     let span = (hi - lo).value();
     let mut prev = lo;
     for i in 1..=SCAN_SAMPLES {
@@ -40,6 +41,7 @@ pub(crate) fn first_true(
         if pred(t) {
             // Bracketed: pred(prev) false, pred(t) true. Bisect.
             let (mut f, mut tr) = (prev, t);
+            let mut iters: u64 = 0;
             while (tr - f).value() > BISECT_TOL {
                 let mid = f + (tr - f) * 0.5;
                 if pred(mid) {
@@ -47,7 +49,10 @@ pub(crate) fn first_true(
                 } else {
                     f = mid;
                 }
+                iters += 1;
             }
+            dcb_telemetry::counter!("sim.events.bisection_iters").add(iters);
+            dcb_telemetry::histogram!("sim.events.bisection_iters_per_search").observe(iters);
             return Some(tr);
         }
         prev = t;

@@ -36,6 +36,21 @@ use dcb_units::{contract, Fraction, Seconds, Watts};
 /// hundred events; the cap is a modeling-bug backstop, not a tuning knob.
 const MAX_EVENTS: u32 = 10_000;
 
+/// The per-end-cause telemetry counter for a committed segment. The match
+/// keeps each name at a fixed call site so the `counter!` cache applies.
+fn segment_end_counter(end: SegmentEnd) -> &'static dcb_telemetry::Counter {
+    match end {
+        SegmentEnd::OutageEnd => dcb_telemetry::counter!("sim.kernel.end.outage_end"),
+        SegmentEnd::TimerExpired => dcb_telemetry::counter!("sim.kernel.end.timer_expired"),
+        SegmentEnd::MigrationPause => dcb_telemetry::counter!("sim.kernel.end.migration_pause"),
+        SegmentEnd::BatteryDepleted => dcb_telemetry::counter!("sim.kernel.end.battery_depleted"),
+        SegmentEnd::SupplyOverload => dcb_telemetry::counter!("sim.kernel.end.supply_overload"),
+        SegmentEnd::DgCrossover => dcb_telemetry::counter!("sim.kernel.end.dg_crossover"),
+        SegmentEnd::HybridFallback => dcb_telemetry::counter!("sim.kernel.end.hybrid_fallback"),
+        SegmentEnd::RecoveryPower => dcb_telemetry::counter!("sim.kernel.end.recovery_power"),
+    }
+}
+
 /// What ends the segment under construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Pending {
@@ -296,6 +311,13 @@ impl OutageSim {
         let outcome = self.assemble(outage, st, backup, &transitions);
         let trajectory = Trajectory { segments, outcome };
         trajectory.validate();
+        dcb_telemetry::counter!("sim.kernel.outages").incr();
+        dcb_telemetry::counter!("sim.kernel.segments").add(trajectory.segments.len() as u64);
+        dcb_telemetry::histogram!("sim.kernel.segments_per_outage")
+            .observe(trajectory.segments.len() as u64);
+        for segment in &trajectory.segments {
+            segment_end_counter(segment.ended_by).incr();
+        }
         trajectory
     }
 

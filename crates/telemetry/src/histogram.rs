@@ -1,0 +1,162 @@
+//! Fixed-bucket log-scale histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket `i` holds values whose bit length is `i`: bucket 0 is exactly
+/// `{0}`, bucket `i ≥ 1` spans `[2^(i-1), 2^i - 1]`. 65 buckets cover the
+/// full `u64` range.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket base-2 log-scale histogram of `u64` observations.
+///
+/// The bucket layout is static (no resizing, no quantile sketching), so
+/// recording is one atomic increment and the snapshot is a pure function
+/// of the multiset of observed values — identical observations produce
+/// identical buckets regardless of thread interleaving. Log-scale buckets
+/// suit the quantities this workspace observes (segments per outage,
+/// bisection iterations per search): exact at the small end, coarse at
+/// the long tail.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// The index of the bucket holding `value`: its bit length.
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (index - 1);
+        let hi = if index == 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        };
+        (lo, hi)
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation, if collection is enabled.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                let (lo, hi) = bucket_bounds(index);
+                buckets.push((lo, hi, count));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The frozen contents of a [`Histogram`]: total observation count, sum,
+/// and the non-empty buckets as `(lo, hi, count)` triples in ascending
+/// value order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations recorded.
+    pub count: u64,
+    /// Sum of all observed values (wrapping in the astronomically unlikely
+    /// case of `u64` overflow).
+    pub sum: u64,
+    /// Non-empty buckets: inclusive value range and observation count.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(3), (4, 7));
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8] {
+            h.observe(v);
+        }
+        crate::set_enabled(false);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 25);
+        assert_eq!(
+            snap.buckets,
+            vec![(0, 0, 1), (1, 1, 1), (2, 3, 2), (4, 7, 2), (8, 15, 1)]
+        );
+        assert!((snap.mean() - 25.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        let h = Histogram::new();
+        h.observe(42);
+        assert_eq!(h.snapshot().count, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Pluggable report sinks.
+//!
+//! A [`Sink`] turns a [`Snapshot`] into a rendered report (or nothing, for
+//! [`NullSink`]). Sinks exist so the decision of *whether and how* to
+//! surface telemetry lives at the edge of a binary, not inside
+//! instrumented code: model layers only ever record, and a binary's `main`
+//! calls [`report`] once at exit.
+
+use crate::registry::Snapshot;
+
+/// Renders a snapshot into a report string, or `None` to emit nothing.
+pub trait Sink {
+    /// Renders `snapshot`, or returns `None` if this sink is inert.
+    fn render(&self, snapshot: &Snapshot) -> Option<String>;
+}
+
+/// The default sink: renders nothing. With this sink selected, collection
+/// stays disabled and every record operation costs one branch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn render(&self, _snapshot: &Snapshot) -> Option<String> {
+        None
+    }
+}
+
+/// Renders the stable subset as byte-reproducible JSON (see
+/// [`Snapshot::to_stable_json`]). Selected by `DCB_TELEMETRY=json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonSink;
+
+impl Sink for JsonSink {
+    fn render(&self, snapshot: &Snapshot) -> Option<String> {
+        Some(snapshot.to_stable_json())
+    }
+}
+
+/// Renders a human-readable report including volatile metrics and span
+/// wall times (see [`Snapshot::to_text`]). Selected by
+/// `DCB_TELEMETRY=text`. Not byte-reproducible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextSink;
+
+impl Sink for TextSink {
+    fn render(&self, snapshot: &Snapshot) -> Option<String> {
+        Some(snapshot.to_text())
+    }
+}
+
+/// Which sink the `DCB_TELEMETRY` environment variable selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// No reporting, collection disabled (the default).
+    Null,
+    /// Stable JSON report ([`JsonSink`]).
+    Json,
+    /// Human-readable text report ([`TextSink`]).
+    Text,
+}
+
+impl SinkKind {
+    /// The sink this kind names.
+    #[must_use]
+    pub fn sink(self) -> &'static dyn Sink {
+        match self {
+            SinkKind::Null => &NullSink,
+            SinkKind::Json => &JsonSink,
+            SinkKind::Text => &TextSink,
+        }
+    }
+}
+
+/// Reads `DCB_TELEMETRY` and returns the selected sink kind: `json`,
+/// `text`, or [`SinkKind::Null`] for anything else (including unset).
+#[must_use]
+pub fn sink_from_env() -> SinkKind {
+    match std::env::var("DCB_TELEMETRY").as_deref() {
+        Ok("json") => SinkKind::Json,
+        Ok("text") => SinkKind::Text,
+        _ => SinkKind::Null,
+    }
+}
+
+/// Snapshots the global registry and renders it through the sink
+/// `DCB_TELEMETRY` selects. Returns `None` under the default [`NullSink`]
+/// (so callers can skip printing entirely). The canonical end-of-run call
+/// for binaries.
+#[must_use]
+pub fn report() -> Option<String> {
+    report_with(sink_from_env().sink())
+}
+
+/// Snapshots the global registry and renders it through `sink`.
+#[must_use]
+pub fn report_with(sink: &dyn Sink) -> Option<String> {
+    sink.render(&crate::snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_renders_nothing() {
+        let _g = crate::test_guard();
+        assert!(report_with(&NullSink).is_none());
+    }
+
+    #[test]
+    fn json_and_text_sinks_render() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        crate::registry().counter("sink.test.events").add(1);
+        crate::set_enabled(false);
+        let json = report_with(&JsonSink).expect("json sink renders");
+        assert!(json.contains("\"dcb_telemetry\""));
+        assert!(json.contains("\"sink.test.events\": 1"));
+        let text = report_with(&TextSink).expect("text sink renders");
+        assert!(text.contains("sink.test.events"));
+    }
+
+    #[test]
+    fn sink_kind_maps_to_sinks() {
+        let _g = crate::test_guard();
+        assert!(SinkKind::Null.sink().render(&crate::snapshot()).is_none());
+        assert!(SinkKind::Json.sink().render(&crate::snapshot()).is_some());
+        assert!(SinkKind::Text.sink().render(&crate::snapshot()).is_some());
+    }
+}

@@ -67,9 +67,17 @@
 //! assert!(fleet::cache_stats().misses > 0);
 //! ```
 //!
+//! ## Observability
+//!
+//! Every layer is instrumented through [`telemetry`] — deterministic
+//! counters, histograms, and span timers that stay one branch per record
+//! when disabled. Set `DCB_TELEMETRY=json` on the `repro` binary for a
+//! byte-reproducible metric snapshot, or `text` for a human-readable
+//! report; see OBSERVABILITY.md for the metric catalog.
+//!
 //! The sub-crates are re-exported as modules: [`units`], [`battery`],
 //! [`outage`], [`server`], [`workload`], [`migration`], [`power`], [`sim`],
-//! [`fleet`], and [`core`].
+//! [`fleet`], [`core`], and [`telemetry`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,5 +90,6 @@ pub use dcb_outage as outage;
 pub use dcb_power as power;
 pub use dcb_server as server;
 pub use dcb_sim as sim;
+pub use dcb_telemetry as telemetry;
 pub use dcb_units as units;
 pub use dcb_workload as workload;
