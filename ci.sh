@@ -25,6 +25,11 @@ cargo test -q --workspace
 echo "== engine bench smoke (event kernel vs stepped oracle)"
 DCB_ENGINE_BENCH_SMOKE=1 cargo bench -q -p dcb-bench --bench engine
 
+echo "== bench history floor (newest BENCH_history.jsonl entry >= 5x)"
+min=$(tail -n 1 BENCH_history.jsonl | sed -n 's/.*"min_speedup": \([0-9.eE+-]*\).*/\1/p')
+test -n "$min" || { echo "no min_speedup in newest BENCH_history.jsonl entry"; exit 1; }
+awk -v m="$min" 'BEGIN { if (m + 0 < 5.0) { print "bench history floor violated: " m "x < 5x"; exit 1 } }'
+
 echo "== dcb-audit check (workspace invariants)"
 cargo run --release -q -p dcb-audit -- check
 
@@ -33,6 +38,15 @@ cargo test -q -p dcb-audit
 
 echo "== dcb-audit telemetry read-fence self-test (lint fixture)"
 cargo test -q -p dcb-audit --test selftest telemetry
+
+echo "== dcb-audit trace read-fence self-test (lint fixture)"
+cargo test -q -p dcb-audit --test selftest trace
+
+echo "== trace determinism (Chrome export byte-identical across DCB_THREADS)"
+cargo test -q --release -p dcb-bench --test trace_chrome
+
+echo "== explain timeline consistency (trace tally vs kernel outcome)"
+cargo test -q --release -p dcb-bench --test explain_timeline
 
 echo "== dcb-audit docs (markdown links + DESIGN.md section references)"
 cargo run --release -q -p dcb-audit -- docs

@@ -7,8 +7,10 @@
 //! leaves a dangling pointer no compiler sees. This module walks the
 //! repo-authored top-level docs and verifies:
 //!
-//! 1. every relative markdown link target exists on disk, and
-//! 2. every `§N` design-section reference resolves to a `## N.` heading
+//! 1. every relative markdown link target exists on disk,
+//! 2. every `#anchor` (pure or on a markdown target) resolves to a
+//!    GitHub-style heading slug in the referenced document, and
+//! 3. every `§N` design-section reference resolves to a `## N.` heading
 //!    in DESIGN.md.
 //!
 //! Externally sourced context files (the paper text, related-work dumps,
@@ -105,11 +107,50 @@ pub fn design_sections(text: &str) -> Vec<u32> {
     numbers
 }
 
-/// Verifies every relative `[text](target)` link target exists on disk.
-/// External (`scheme://`, `mailto:`) and pure-anchor (`#…`) targets are
-/// skipped; a `#anchor` suffix on a file target is stripped first.
+/// GitHub-style anchor slugs for every markdown heading in `text`:
+/// lowercase, spaces become hyphens, everything but `[a-z0-9_-]` is
+/// dropped. Headings inside fenced code blocks are skipped (a `# comment`
+/// in a shell snippet is not a heading). Duplicate-heading `-1` suffixes
+/// are not modeled; the repo's docs keep headings unique.
+#[must_use]
+pub fn heading_slugs(text: &str) -> Vec<String> {
+    let mut slugs = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let stripped = trimmed.trim_start_matches('#');
+        let level = trimmed.len() - stripped.len();
+        if level == 0 || !stripped.starts_with(' ') {
+            continue;
+        }
+        let mut slug = String::new();
+        for ch in stripped.trim().chars() {
+            match ch {
+                'A'..='Z' => slug.push(ch.to_ascii_lowercase()),
+                'a'..='z' | '0'..='9' | '_' | '-' => slug.push(ch),
+                ' ' => slug.push('-'),
+                _ => {}
+            }
+        }
+        slugs.push(slug);
+    }
+    slugs
+}
+
+/// Verifies every relative `[text](target)` link: the file part must exist
+/// on disk, and a `#anchor` part must match a heading slug — of this doc
+/// for pure-anchor targets, of the referenced markdown file otherwise.
+/// External (`scheme://`, `mailto:`) targets are skipped.
 fn check_links(root: &Path, name: &str, text: &str) -> Vec<DocFinding> {
     let mut findings = Vec::new();
+    let own_slugs = heading_slugs(text);
     for (idx, line) in text.lines().enumerate() {
         let mut rest = line;
         while let Some(open) = rest.find("](") {
@@ -119,20 +160,49 @@ fn check_links(root: &Path, name: &str, text: &str) -> Vec<DocFinding> {
             };
             let target = &after[..close];
             rest = &after[close + 1..];
-            let target = target.split('#').next().unwrap_or_default();
-            if target.is_empty()
-                || target.contains("://")
+            if target.contains("://")
                 || target.starts_with("mailto:")
                 || target.contains(char::is_whitespace)
             {
                 continue;
             }
-            if !root.join(target).exists() {
+            let (file_part, anchor) = match target.split_once('#') {
+                Some((file, anchor)) => (file, Some(anchor)),
+                None => (target, None),
+            };
+            if !file_part.is_empty() && !root.join(file_part).exists() {
                 findings.push(DocFinding {
                     file: name.to_owned(),
                     line: idx + 1,
-                    message: format!("link target `{target}` does not exist"),
+                    message: format!("link target `{file_part}` does not exist"),
                 });
+                continue;
+            }
+            let Some(anchor) = anchor else { continue };
+            // Anchors are only checkable against markdown targets: a pure
+            // `#…` points into this doc, `x.md#…` into the linked one.
+            let slugs = if file_part.is_empty() {
+                Some(own_slugs.clone())
+            } else if file_part.ends_with(".md") {
+                std::fs::read_to_string(root.join(file_part))
+                    .ok()
+                    .map(|linked| heading_slugs(&linked))
+            } else {
+                None
+            };
+            if let Some(slugs) = slugs {
+                if !slugs.iter().any(|s| s == anchor) {
+                    let shown = if file_part.is_empty() {
+                        name
+                    } else {
+                        file_part
+                    };
+                    findings.push(DocFinding {
+                        file: name.to_owned(),
+                        line: idx + 1,
+                        message: format!("anchor `#{anchor}` has no matching heading in {shown}"),
+                    });
+                }
             }
         }
     }
@@ -200,9 +270,28 @@ mod tests {
     #[test]
     fn anchor_only_and_anchored_links_are_handled() {
         let root = tmp_root();
-        std::fs::write(root.join("HERE.md"), "x").unwrap();
-        let text = "[top](#intro) then [sec](HERE.md#part)\n";
-        assert!(check_links(&root, "README.md", text).is_empty());
+        std::fs::write(root.join("ANCHORED.md"), "# Top\n## The Part\n").unwrap();
+        let good = "# Intro\n[top](#intro) then [sec](ANCHORED.md#the-part)\n";
+        assert!(check_links(&root, "README.md", good).is_empty());
+        // A dangling anchor is a finding — in either direction.
+        let bad = "# Intro\n[gone](#outro) and [sec](ANCHORED.md#no-such-part)\n";
+        let findings = check_links(&root, "README.md", bad);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("#outro"));
+        assert!(findings[1].message.contains("#no-such-part"));
+        // Anchors on non-markdown targets are not checkable.
+        std::fs::write(root.join("data.csv"), "a,b\n").unwrap();
+        assert!(check_links(&root, "README.md", "[d](data.csv#L3)\n").is_empty());
+    }
+
+    #[test]
+    fn heading_slugs_follow_github_rules() {
+        let text =
+            "# Flight Recorder (dcb-trace)\n```sh\n# not a heading\n```\n## DCB_TRACE & friends!\n";
+        assert_eq!(
+            heading_slugs(text),
+            vec!["flight-recorder-dcb-trace", "dcb_trace--friends"]
+        );
     }
 
     #[test]

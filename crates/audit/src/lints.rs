@@ -86,6 +86,14 @@ pub fn all() -> Vec<LintSpec> {
             check: telemetry_in_result,
         },
         LintSpec {
+            name: "trace-in-result",
+            summary: "reading the flight recorder (dcb_trace::drain/capture/chrome/timeline) inside model code lets tracing feed back into results; recording (instant/complete/lane_scope) is always fine",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &["trace", "bench", "audit"],
+            skip_in_test: true,
+            check: trace_in_result,
+        },
+        LintSpec {
             name: "panic-site",
             summary: "unwrap/expect/panic!/todo!/unimplemented! in library code (return Results or document `# Panics` and allow)",
             roles: &[Role::Library],
@@ -365,6 +373,37 @@ fn telemetry_in_result(tokens: &[Token]) -> Vec<(u32, String)> {
     out
 }
 
+/// `trace-in-result`: reads of flight-recorder state —
+/// `dcb_trace::drain`/`capture`/`reset`/`dropped` or the `chrome`/`timeline`
+/// exporter modules — in model code. Recording into the ring
+/// (`instant`/`complete`/`claim_lanes`/`lane_scope`/`micros`/`enabled`)
+/// is always fine; *reading* events back is fenced to the report edges so
+/// tracing can never steer a result.
+fn trace_in_result(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.kind.is_ident("dcb_trace") {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.kind.is_op("::")) {
+            continue;
+        }
+        let Some(read) = tokens.get(i + 2).and_then(|n| n.kind.ident()) else {
+            continue;
+        };
+        if matches!(
+            read,
+            "drain" | "capture" | "reset" | "dropped" | "chrome" | "timeline"
+        ) {
+            out.push((
+                t.line,
+                format!("`dcb_trace::{read}` reads the flight recorder back into model code; only report edges (bench) may read"),
+            ));
+        }
+    }
+    out
+}
+
 /// `panic-site`: `.unwrap(`, `.expect(`, `panic!`, `todo!`,
 /// `unimplemented!` in library code.
 fn panic_site(tokens: &[Token]) -> Vec<(u32, String)> {
@@ -482,6 +521,30 @@ mod tests {
         let mut f = lib_file();
         f.crate_name = "bench".to_owned();
         assert!(check_file(&f, &scan("fn f() { let _ = dcb_telemetry::report(); }")).is_empty());
+    }
+
+    #[test]
+    fn trace_reads_are_fenced() {
+        assert_eq!(
+            check("fn f() { let events = dcb_trace::drain(); }").len(),
+            1
+        );
+        assert_eq!(
+            check("fn f() { let (r, ev) = dcb_trace::capture(|| g()); }").len(),
+            1
+        );
+        assert_eq!(
+            check("fn f() { let doc = dcb_trace::chrome::export(&ev); }").len(),
+            1
+        );
+        // Recording is not a read.
+        assert!(check("fn f() { dcb_trace::instant(None, None, || k()); }").is_empty());
+        assert!(check("fn f() { let _g = dcb_trace::lane_scope(lane); }").is_empty());
+        assert!(check("fn f() { if dcb_trace::enabled() { g(); } }").is_empty());
+        // The report edge is exempt by crate.
+        let mut f = lib_file();
+        f.crate_name = "bench".to_owned();
+        assert!(check_file(&f, &scan("fn f() { let _ = dcb_trace::drain(); }")).is_empty());
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub fn oracle_on_purpose(sim: &OutageSim, outage: Seconds) -> SimOutcome {
     sim.run_stepped(outage)
 }
 
+pub fn replay_on_purpose() -> usize {
+    // dcb-audit: allow(trace-in-result, fixture exercises suppression)
+    dcb_trace::drain().len()
+}
+
 pub fn brittle(input: Option<u32>, x: f64) -> bool {
     // dcb-audit: allow(panic-site, fixture exercises suppression)
     let a = input.unwrap();

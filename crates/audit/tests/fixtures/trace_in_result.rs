@@ -1,0 +1,28 @@
+//! Fixture: flight-recorder reads in model code (3 expected
+//! `trace-in-result` findings). Recording sites (instant/complete/
+//! lane_scope/enabled) are deliberately present and must stay clean —
+//! only *reads* are fenced.
+
+pub fn steer_by_trace() -> usize {
+    if dcb_trace::enabled() {
+        dcb_trace::instant(None, None, || dcb_trace::EventKind::DustSnap);
+    }
+    let events = dcb_trace::drain();
+    events.len()
+}
+
+pub fn export_from_model(events: &[dcb_trace::Event]) -> String {
+    dcb_trace::chrome::export(events)
+}
+
+pub fn render_from_model(events: &[dcb_trace::Event]) -> String {
+    let _guard = dcb_trace::lane_scope(dcb_trace::ROOT_LANE);
+    dcb_trace::timeline::render(events)
+}
+
+pub fn record_only(at: f64) {
+    let _ = dcb_trace::claim_lanes(4);
+    dcb_trace::complete(dcb_trace::micros(at), 10, None, || {
+        dcb_trace::EventKind::DustSnap
+    });
+}

@@ -45,6 +45,7 @@ fn every_lint_class_is_detected() {
         ("panic_site.rs", "panic-site", 4),
         ("stepped_sim.rs", "stepped-sim", 2),
         ("telemetry_in_result.rs", "telemetry-in-result", 3),
+        ("trace_in_result.rs", "trace-in-result", 3),
     ] {
         let found = audit_fixture(fixture);
         assert_eq!(
@@ -80,6 +81,29 @@ fn telemetry_reads_fenced_but_recording_allowed() {
     let mut bench_file = file;
     bench_file.crate_name = "bench".to_owned();
     let reads = "pub fn f() { let _ = dcb_telemetry::report(); }";
+    assert!(check_source(&bench_file, reads).is_empty());
+}
+
+#[test]
+fn trace_reads_fenced_but_recording_allowed() {
+    // The fixture mixes record sites (instant/complete/lane_scope) with
+    // reads (drain(), chrome::export, timeline::render): exactly the
+    // reads fire.
+    let found = audit_fixture("trace_in_result.rs");
+    assert_eq!(count(&found, "trace-in-result"), 3, "found {found:?}");
+    // Recording alone is clean in model code.
+    let file = SourceFile {
+        path: PathBuf::from("crates/x/src/lib.rs"),
+        rel: "crates/x/src/lib.rs".to_owned(),
+        role: Role::Library,
+        crate_name: "x".to_owned(),
+    };
+    let recording_only = "pub fn f(t: f64) {\n    if dcb_trace::enabled() {\n        dcb_trace::instant(Some(dcb_trace::micros(t)), None, || k());\n    }\n}\n";
+    assert!(check_source(&file, recording_only).is_empty());
+    // The report edges (bench) are exempt by crate.
+    let mut bench_file = file;
+    bench_file.crate_name = "bench".to_owned();
+    let reads = "pub fn f() { let _ = dcb_trace::chrome::export(&dcb_trace::drain()); }";
     assert!(check_source(&bench_file, reads).is_empty());
 }
 

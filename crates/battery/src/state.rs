@@ -285,6 +285,7 @@ impl Battery {
                 let left = self.charge.value() - used;
                 self.charge = if left < Self::CHARGE_DUST {
                     dcb_telemetry::counter!("battery.dust_snaps").incr();
+                    dcb_trace::instant(None, None, || dcb_trace::EventKind::DustSnap);
                     Fraction::ZERO
                 } else {
                     Fraction::new(left)

@@ -158,6 +158,22 @@ fn render_json(
     out
 }
 
+/// One-line JSONL record for `BENCH_history.jsonl`: enough to trend the
+/// speedup floor across commits without parsing the full report.
+fn render_history_line(mode: &str, measurements: &[Measurement], min_speedup: f64) -> String {
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let workloads: Vec<String> = measurements
+        .iter()
+        .map(|m| format!("{{\"name\": \"{}\", \"speedup\": {}}}", m.name, m.speedup()))
+        .collect();
+    format!(
+        "{{\"unix_s\": {unix_s}, \"mode\": \"{mode}\", \"min_speedup\": {min_speedup}, \"workloads\": [{}]}}\n",
+        workloads.join(", ")
+    )
+}
+
 /// Runs every workload once through the kernel with collection enabled,
 /// under a per-workload span tree, and returns the full telemetry JSON.
 /// The timed measurements above run *before* this with collection disabled
@@ -223,6 +239,22 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", path.display());
+
+    // Append to the history log; BENCH_engine.json stays "latest only".
+    let history_path = root.join("BENCH_history.jsonl");
+    let line = render_history_line(mode, &measurements, min_speedup);
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&history_path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    match appended {
+        Ok(()) => println!("appended {}", history_path.display()),
+        Err(err) => {
+            eprintln!("could not append {}: {err}", history_path.display());
+            std::process::exit(1);
+        }
+    }
 
     assert!(
         min_speedup >= 5.0,

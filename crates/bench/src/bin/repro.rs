@@ -7,13 +7,32 @@
 //! cargo run --release -p dcb-bench --bin repro -- sensitivity
 //! ```
 
-use dcb_bench::{all_exhibits, extra_exhibits, tables, verify};
+use dcb_bench::{all_exhibits, explain, extra_exhibits, tables, verify};
+use dcb_trace::TraceMode;
 
 fn main() {
     // Enables metric collection when DCB_TELEMETRY=json|text; the default
-    // NullSink leaves every record site at one branch.
+    // NullSink leaves every record site at one branch. Likewise the flight
+    // recorder via DCB_TRACE=chrome|timeline.
     dcb_telemetry::init_from_env();
+    let trace_mode = dcb_trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `repro explain <config> <technique> <duration>` is a subcommand, not
+    // an exhibit: it forces tracing on for one scenario and renders the
+    // annotated timeline.
+    if args.first().map(String::as_str) == Some("explain") {
+        match explain::run_cli(&args[1..]) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        }
+    }
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all_exhibits()
             .iter()
@@ -66,6 +85,34 @@ fn main() {
     // runs and DCB_THREADS settings (asserted by tests/telemetry_snapshot.rs).
     if let Some(report) = dcb_telemetry::report() {
         print!("{report}");
+    }
+    // Export the flight recorder. Timestamps are virtual (simulated time)
+    // and lanes are workload-assigned, so for a fixed exhibit list the
+    // Chrome JSON is byte-identical across DCB_THREADS settings
+    // (asserted by tests/trace_chrome.rs).
+    match trace_mode {
+        TraceMode::Off => {}
+        TraceMode::Chrome => {
+            if dcb_trace::dropped() > 0 {
+                eprintln!(
+                    "dcb-trace: ring overflow dropped {} events; trace is truncated",
+                    dcb_trace::dropped()
+                );
+            }
+            let document = dcb_trace::chrome::export(&dcb_trace::drain());
+            let path =
+                std::env::var("DCB_TRACE_FILE").unwrap_or_else(|_| "dcb-trace.json".to_owned());
+            match std::fs::write(&path, document) {
+                Ok(()) => eprintln!("dcb-trace: wrote Chrome trace to {path}"),
+                Err(err) => {
+                    eprintln!("dcb-trace: failed to write {path}: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        TraceMode::Timeline => {
+            print!("{}", dcb_trace::timeline::render(&dcb_trace::drain()));
+        }
     }
     if !unknown.is_empty() {
         eprintln!(

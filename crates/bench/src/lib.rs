@@ -14,6 +14,7 @@
 
 pub mod ablations;
 pub mod csv;
+pub mod explain;
 pub mod figures;
 pub mod tables;
 pub mod verify;

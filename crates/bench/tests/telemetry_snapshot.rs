@@ -33,6 +33,15 @@ fn json_snapshot_is_byte_identical_across_threads_and_runs() {
     assert!(text.contains("\"dcb_telemetry\""), "no snapshot:\n{text}");
     assert!(text.contains("\"fleet.cache.hit_rate\""), "no hit rate");
     assert!(text.contains("\"fleet.cache.misses\""), "no cache misses");
+    // Derived histogram means fill the once-empty "derived" block.
+    assert!(
+        text.contains("\"sim.kernel.segments_per_outage_mean\""),
+        "no derived segments-per-outage mean:\n{text}"
+    );
+    assert!(
+        text.contains("\"sim.events.bisection_iters_per_search_mean\""),
+        "no derived bisections-per-search mean:\n{text}"
+    );
     assert!(
         text.contains("\"sim.kernel.segments\""),
         "no kernel segments"

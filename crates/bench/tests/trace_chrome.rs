@@ -1,0 +1,96 @@
+//! Trace determinism, asserted end to end through the `repro` binary.
+//!
+//! The acceptance contract (OBSERVABILITY.md): with `DCB_TRACE=chrome`,
+//! the exported trace for a fixed workload is a well-formed Chrome
+//! trace-event JSON document that is *byte-identical* across repeat runs
+//! and across `DCB_THREADS` settings — lanes are claimed in program order
+//! on the submitting thread and timestamps are simulated time, so
+//! scheduling never leaks into the file. Each configuration gets its own
+//! process because the global fleet pool initializes from the environment
+//! at first use.
+
+use std::process::Command;
+
+/// Runs `repro fig5` with tracing into `file` and returns the trace bytes.
+fn repro_fig5_trace(threads: &str, file: &std::path::Path) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("fig5")
+        .env("DCB_THREADS", threads)
+        .env("DCB_TRACE", "chrome")
+        .env("DCB_TRACE_FILE", file)
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        out.status.success(),
+        "repro fig5 failed (threads={threads}): {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read(file).expect("trace file written")
+}
+
+#[test]
+fn chrome_trace_is_byte_identical_across_threads_and_valid() {
+    let dir = std::env::temp_dir();
+    let reference_path = dir.join("dcb_trace_test_t1.json");
+    let reference = repro_fig5_trace("1", &reference_path);
+    let document = String::from_utf8(reference.clone()).expect("trace is utf-8");
+
+    // Perfetto-loadable: well-formed JSON, monotone per-track timestamps.
+    let events = dcb_trace::chrome::validate(&document).expect("well-formed Chrome trace");
+    assert!(events > 100, "suspiciously small trace: {events} events");
+
+    // The fig5 sweep exercises every instrumented layer.
+    for needle in [
+        "\"name\":\"outage_start\"",
+        "\"name\":\"seg:outage_end\"",
+        "\"name\":\"cache_miss\"",
+        "\"cat\":\"sim\"",
+        "\"cat\":\"fleet\"",
+        "\"name\":\"evaluate\"",
+        "\"displayTimeUnit\":\"ms\"",
+    ] {
+        assert!(document.contains(needle), "missing {needle}");
+    }
+
+    for threads in ["1", "2", "8"] {
+        let path = dir.join(format!("dcb_trace_test_t{threads}.json"));
+        assert_eq!(
+            repro_fig5_trace(threads, &path),
+            reference,
+            "trace drifted at DCB_THREADS={threads}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn no_trace_file_when_tracing_is_off() {
+    let file = std::env::temp_dir().join("dcb_trace_test_off.json");
+    let _ = std::fs::remove_file(&file);
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("table3")
+        .env_remove("DCB_TRACE")
+        .env("DCB_TRACE_FILE", &file)
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success());
+    assert!(
+        !file.exists(),
+        "trace file must not be written with DCB_TRACE unset"
+    );
+}
+
+#[test]
+fn timeline_mode_prints_a_rendered_timeline() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("fig5")
+        .env("DCB_THREADS", "2")
+        .env("DCB_TRACE", "timeline")
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("stdout is utf-8");
+    assert!(text.contains("Figure 5"), "exhibit missing:\n{text}");
+    assert!(text.contains("lane "), "timeline missing:\n{text}");
+    assert!(text.contains("segment"), "segments missing:\n{text}");
+}

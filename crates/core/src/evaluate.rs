@@ -84,6 +84,15 @@ pub fn evaluate(
     if !outcome.feasible {
         dcb_telemetry::counter!("core.evaluate.infeasible").incr();
     }
+    if dcb_trace::enabled() {
+        dcb_trace::instant(Some(dcb_trace::micros(duration.value())), None, || {
+            dcb_trace::EventKind::Evaluate {
+                config: config.label().to_owned(),
+                technique: technique.name().to_owned(),
+                feasible: outcome.feasible,
+            }
+        });
+    }
     Performability {
         config: config.label().to_owned(),
         technique: technique.name().to_owned(),

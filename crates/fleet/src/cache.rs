@@ -108,10 +108,16 @@ impl<V: Clone> EvalCache<V> {
         if let Some(value) = self.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             hit_events.incr();
+            dcb_trace::instant(None, None, || dcb_trace::EventKind::CacheHit {
+                digest: format!("{key:032x}"),
+            });
             return value;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         miss_events.incr();
+        dcb_trace::instant(None, None, || dcb_trace::EventKind::CacheMiss {
+            digest: format!("{key:032x}"),
+        });
         let value = compute();
         lock_shard(self.shard(key))
             .entry(key)

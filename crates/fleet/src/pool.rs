@@ -70,8 +70,26 @@ impl FleetPool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        // Claim one trace lane per item *here, on the calling thread* —
+        // program order makes lane assignment a pure function of the
+        // workload, so traces are byte-identical across thread counts.
+        // Returns None when tracing is off or this batch is nested.
+        let lane_base = dcb_trace::claim_lanes(items.len());
+        let eval_in_lane = |index: usize, item: &T| -> R {
+            match lane_base {
+                Some(base) => {
+                    let _guard = dcb_trace::lane_scope(base + index as u64);
+                    eval(item)
+                }
+                None => eval(item),
+            }
+        };
         if self.threads <= 1 || items.len() <= 1 || IN_FLEET_WORKER.get() {
-            return items.iter().map(eval).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(index, item)| eval_in_lane(index, item))
+                .collect();
         }
         let queue = AtomicUsize::new(0);
         let workers = self.threads.min(items.len());
@@ -91,7 +109,7 @@ impl FleetPool {
                             if index >= items.len() {
                                 break;
                             }
-                            local.push((index, eval(&items[index])));
+                            local.push((index, eval_in_lane(index, &items[index])));
                         }
                         IN_FLEET_WORKER.set(false);
                         dcb_telemetry::volatile_histogram!("fleet.pool.tasks_per_worker")
@@ -137,14 +155,24 @@ impl FleetPool {
         // default shard count scales with the worker count).
         dcb_telemetry::counter!("fleet.pool.monte_carlo_trials").add(trials as u64);
         dcb_telemetry::volatile_counter!("fleet.pool.monte_carlo_shards").add(shards as u64);
+        // Trace lanes are claimed per *trial*, not per shard: the shard
+        // layout varies with the worker count, the trial list does not.
+        let trial_lanes = dcb_trace::claim_lanes(trials);
         let chunks = self.run_all(&ranges, |range| {
             range
                 .clone()
                 .map(|index| {
-                    run(Trial {
+                    let trial = Trial {
                         index,
                         seed: trial_seed(base_seed, index as u64),
-                    })
+                    };
+                    match trial_lanes {
+                        Some(base) => {
+                            let _guard = dcb_trace::lane_scope(base + index as u64);
+                            run(trial)
+                        }
+                        None => run(trial),
+                    }
                 })
                 .collect::<Vec<R>>()
         });

@@ -72,6 +72,32 @@ pub(crate) enum Mode {
     },
 }
 
+impl Mode {
+    /// Stable wire name of the mode, used by trace `technique_transition`
+    /// events. Throttled serving is distinguished because the unthrottle
+    /// crossover is one of the kernel's located events.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Mode::Serving { level, .. } => {
+                if *level == ThrottleLevel::NONE {
+                    "serving"
+                } else {
+                    "serving_throttled"
+                }
+            }
+            Mode::Migrating { .. } => "migrating",
+            Mode::EnteringSleep { .. } => "entering_sleep",
+            Mode::Sleeping => "sleeping",
+            Mode::SleepingRemote => "sleeping_remote",
+            Mode::Saving { .. } => "saving",
+            Mode::NvdimmPersisted => "nvdimm_persisted",
+            Mode::Hibernated { .. } => "hibernated",
+            Mode::Crashed => "crashed",
+            Mode::Recovering { .. } => "recovering",
+        }
+    }
+}
+
 /// Mutable run state threaded through either solver and handed to
 /// [`OutageSim::assemble`] once utility power returns.
 #[derive(Debug, Clone)]

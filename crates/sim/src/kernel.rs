@@ -96,6 +96,37 @@ impl OutageSim {
             outage.value() >= 0.0 && outage.is_finite(),
             "outage must be finite and non-negative"
         );
+        // Root trace event for this scenario plus the DG ramp milestones,
+        // which are a pure function of time and can be emitted up front.
+        let t_root = if dcb_trace::enabled() {
+            let root = dcb_trace::instant(Some(0), None, || dcb_trace::EventKind::OutageStart {
+                config: self.config().label().to_owned(),
+                technique: self.technique().name().to_owned(),
+                outage_us: dcb_trace::micros(outage.value()),
+            });
+            if let Some(dg) = backup.dg() {
+                let mut milestones = vec![
+                    ("engine_start", dg.start_delay()),
+                    ("full_power", dg.transfer_complete()),
+                ];
+                if let Some(fuel) = dg.fuel_runtime() {
+                    milestones.push(("fuel_exhausted", fuel));
+                }
+                for (phase, at) in milestones {
+                    if at <= outage {
+                        dcb_trace::instant(Some(dcb_trace::micros(at.value())), root, || {
+                            dcb_trace::EventKind::DgRampPhase {
+                                phase: phase.to_owned(),
+                            }
+                        });
+                    }
+                }
+            }
+            root
+        } else {
+            None
+        };
+
         let transitions = TransitionTimes::new(*self.cluster().spec());
         let (mode, state_lost) = self.initial_mode(&transitions);
         let mut st = RunState {
@@ -121,7 +152,19 @@ impl OutageSim {
             }
 
             // Instantaneous transitions, in the stepper's per-step order.
+            let before = dcb_trace::enabled().then(|| st.mode.name());
             self.apply_instantaneous(&mut st, backup, &transitions, t, outage);
+            if let Some(from) = before {
+                let to = st.mode.name();
+                if to != from {
+                    dcb_trace::instant(Some(dcb_trace::micros(t.value())), t_root, || {
+                        dcb_trace::EventKind::TechniqueTransition {
+                            from: from.to_owned(),
+                            to: to.to_owned(),
+                        }
+                    });
+                }
+            }
 
             // The segment's constant load, and the hard boundary: the next
             // mode-internal timer, or outage end.
@@ -243,6 +286,23 @@ impl OutageSim {
                     in_downtime: down,
                     ended_by,
                 });
+                if dcb_trace::enabled() {
+                    let start_us = dcb_trace::micros(t.value());
+                    let end_us = dcb_trace::micros(end.value());
+                    dcb_trace::complete(start_us, end_us.saturating_sub(start_us), t_root, || {
+                        dcb_trace::EventKind::SegmentCommit {
+                            end_cause: ended_by.as_str().to_owned(),
+                            load_mw: (load.value() * 1e3).round() as u64,
+                            throughput_pm: (rate * 1e3).round() as u64,
+                            in_downtime: down,
+                        }
+                    });
+                    if ended_by == SegmentEnd::BatteryDepleted {
+                        dcb_trace::instant(Some(end_us), t_root, || {
+                            dcb_trace::EventKind::BatteryDeplete
+                        });
+                    }
+                }
                 // Timers tick down by the committed span.
                 let elapsed = end - t;
                 match &mut st.mode {
@@ -256,6 +316,7 @@ impl OutageSim {
             t = end;
 
             // Fire the event's transition.
+            let before = dcb_trace::enabled().then(|| st.mode.name());
             match what {
                 Pending::End => {}
                 Pending::Pause => {
@@ -304,6 +365,17 @@ impl OutageSim {
                     st.mode = Mode::Recovering {
                         remaining: self.expected_recovery(),
                     };
+                }
+            }
+            if let Some(from) = before {
+                let to = st.mode.name();
+                if to != from {
+                    dcb_trace::instant(Some(dcb_trace::micros(t.value())), t_root, || {
+                        dcb_trace::EventKind::TechniqueTransition {
+                            from: from.to_owned(),
+                            to: to.to_owned(),
+                        }
+                    });
                 }
             }
         }

@@ -112,6 +112,51 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (0 when empty). Bucket-upper-bound semantics make this
+    /// *conservative*: the true quantile is ≤ the returned value, and
+    /// because buckets are power-of-two ranges it overestimates by at most
+    /// 2× (exactly correct for values 0 and 1, which get singleton
+    /// buckets).
+    #[must_use]
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the q-quantile observation, 1-based, clamped into range.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(_, hi, count) in &self.buckets {
+            seen += count;
+            if seen >= target {
+                return hi;
+            }
+        }
+        self.max_observed()
+    }
+
+    /// Conservative median: the upper bound of the bucket holding the
+    /// 50th-percentile observation (see [`Self::quantile_upper`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper(0.50)
+    }
+
+    /// Conservative 95th percentile: the upper bound of the bucket holding
+    /// the 95th-percentile observation (see [`Self::quantile_upper`]).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile_upper(0.95)
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 when empty): the
+    /// largest value the histogram can rule in — the true maximum is ≤
+    /// this, with the same ≤2× conservatism as the quantiles.
+    #[must_use]
+    pub fn max_observed(&self) -> u64 {
+        self.buckets.last().map_or(0, |&(_, hi, _)| hi)
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +194,49 @@ mod tests {
             vec![(0, 0, 1), (1, 1, 1), (2, 3, 2), (4, 7, 2), (8, 15, 1)]
         );
         assert!((snap.mean() - 25.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        // 10 observations: 0, 1..=8 land in buckets {0},{1},{2,3},{4..7},{8..15}.
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 8, 8] {
+            h.observe(v);
+        }
+        crate::set_enabled(false);
+        let snap = h.snapshot();
+        // 5th observation (rank ceil(0.5*10)=5) is value 4 → bucket [4,7].
+        assert_eq!(snap.p50(), 7);
+        // Rank ceil(0.95*10)=10 is value 8 → bucket [8,15].
+        assert_eq!(snap.p95(), 15);
+        assert_eq!(snap.max_observed(), 15);
+        // Conservatism: the true values are ≤ the reported bounds.
+        assert!(snap.p50() >= 4 && snap.p95() >= 8);
+    }
+
+    #[test]
+    fn quantiles_of_the_empty_histogram_are_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p95(), 0);
+        assert_eq!(snap.max_observed(), 0);
+    }
+
+    #[test]
+    fn singleton_buckets_are_exact() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        for _ in 0..4 {
+            h.observe(1);
+        }
+        h.observe(0);
+        crate::set_enabled(false);
+        let snap = h.snapshot();
+        assert_eq!(snap.p50(), 1, "values 0 and 1 have singleton buckets");
+        assert_eq!(snap.max_observed(), 1);
     }
 
     #[test]

@@ -221,10 +221,12 @@ impl Snapshot {
             .map(|(_, _, h)| h)
     }
 
-    /// Derived ratios computed from stable counter pairs, rendered with a
-    /// fixed precision so output stays byte-reproducible. Currently: every
-    /// `<prefix>.hits` / `<prefix>.misses` pair yields a
-    /// `<prefix>.hit_rate`.
+    /// Derived ratios computed from stable metrics at snapshot time,
+    /// rendered with a fixed precision so output stays byte-reproducible.
+    /// Every `<prefix>.hits` / `<prefix>.misses` stable counter pair
+    /// yields a `<prefix>.hit_rate`, and every stable histogram yields a
+    /// `<name>_mean` (`sum / count`, e.g.
+    /// `sim.kernel.segments_per_outage_mean`). Entries are sorted by name.
     fn derived(&self) -> Vec<(String, String)> {
         let mut out = Vec::new();
         for (name, stability, hits) in &self.counters {
@@ -245,6 +247,13 @@ impl Snapshot {
             };
             out.push((format!("{prefix}.hit_rate"), format!("{rate:.6}")));
         }
+        for (name, stability, histogram) in &self.histograms {
+            if *stability != Stability::Stable {
+                continue;
+            }
+            out.push((format!("{name}_mean"), format!("{:.6}", histogram.mean())));
+        }
+        out.sort();
         out
     }
 
@@ -367,10 +376,13 @@ impl Snapshot {
             };
             let _ = writeln!(
                 out,
-                "    {name}: count {} sum {} mean {:.2}{tag}",
+                "    {name}: count {} sum {} mean {:.2} p50 \u{2264} {} p95 \u{2264} {} max \u{2264} {}{tag}",
                 h.count,
                 h.sum,
-                h.mean()
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.max_observed()
             );
             for (lo, hi, count) in &h.buckets {
                 let _ = writeln!(out, "      [{lo}, {hi}] {count}");
@@ -437,6 +449,33 @@ mod tests {
             json.contains("\"registry.test.cache.hit_rate\": 0.250000"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn histogram_means_are_derived_and_entries_sorted() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        registry().histogram("registry.test.meanhist").observe(3);
+        registry().histogram("registry.test.meanhist").observe(6);
+        registry().counter("registry.test.zz.hits").add(1);
+        registry().counter("registry.test.zz.misses").add(0);
+        crate::set_enabled(false);
+        let snap = snapshot();
+        let json = snap.to_stable_json();
+        assert!(
+            json.contains("\"registry.test.meanhist_mean\": 4.500000"),
+            "{json}"
+        );
+        // Derived entries are sorted by name regardless of source kind.
+        let derived = snap.derived();
+        let names: Vec<&String> = derived.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        // Quantile bounds reach the text report.
+        let text = snap.to_text();
+        assert!(text.contains("p50 \u{2264}"), "{text}");
+        assert!(text.contains("max \u{2264}"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Bounded per-thread ring buffers and the global drain surface.
+//!
+//! Each recording thread owns one ring; rings register themselves in a
+//! process-wide list on first use so [`drain_all`] can harvest events
+//! recorded by threads that have since exited (fleet workers are scoped
+//! and short-lived). A full ring drops its *oldest* event — the recorder
+//! keeps the most recent history, like a real flight recorder — and
+//! counts the drop so exporters can flag truncated traces.
+
+use crate::event::Event;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Per-thread ring capacity. Far above any single exhibit's event count
+/// (the Figure-5 sweep records a few thousand events total); a workload
+/// that overflows it loses oldest-first and is flagged via [`dropped`].
+pub(crate) const RING_CAPACITY: usize = 1 << 18;
+
+type Ring = Arc<Mutex<VecDeque<Event>>>;
+
+/// Locks a ring, recovering from poisoning: events are pushed whole and
+/// the drain side only swaps the deque out, so a panicked holder cannot
+/// leave a torn value.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The process-wide list of every thread's ring (living or orphaned).
+fn rings() -> &'static Mutex<Vec<Ring>> {
+    static RINGS: OnceLock<Mutex<Vec<Ring>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's ring, registered globally on first push.
+    static LOCAL: RefCell<Option<Ring>> = const { RefCell::new(None) };
+}
+
+/// Appends one event to the calling thread's ring.
+pub(crate) fn push(event: Event) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let ring = slot.get_or_insert_with(|| {
+            let ring: Ring = Arc::new(Mutex::new(VecDeque::new()));
+            lock(rings()).push(Arc::clone(&ring));
+            ring
+        });
+        let mut buffer = lock(ring);
+        if buffer.len() >= RING_CAPACITY {
+            buffer.pop_front();
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+        buffer.push_back(event);
+    });
+}
+
+/// Takes every buffered event from every ring, sorted by `(lane, seq)` —
+/// a total order that is a pure function of the recorded workload, not of
+/// which thread recorded what.
+pub(crate) fn drain_all() -> Vec<Event> {
+    let mut events = Vec::new();
+    for ring in lock(rings()).iter() {
+        events.extend(std::mem::take(&mut *lock(ring)));
+    }
+    events.sort_by_key(|e| (e.lane, e.seq));
+    events
+}
+
+/// Takes only the events recorded in `lane`, leaving everything else
+/// buffered. Sorted by sequence number.
+pub(crate) fn drain_lane(lane: u64) -> Vec<Event> {
+    let mut events = Vec::new();
+    for ring in lock(rings()).iter() {
+        let mut buffer = lock(ring);
+        let mut keep = VecDeque::with_capacity(buffer.len());
+        for event in buffer.drain(..) {
+            if event.lane == lane {
+                events.push(event);
+            } else {
+                keep.push_back(event);
+            }
+        }
+        *buffer = keep;
+    }
+    events.sort_by_key(|e| e.seq);
+    events
+}
+
+/// Events discarded because a ring was full (0 in any healthy run).
+pub(crate) fn dropped_count() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Clears every ring and the drop counter.
+pub(crate) fn clear() {
+    for ring in lock(rings()).iter() {
+        lock(ring).clear();
+    }
+    DROPPED.store(0, Ordering::Relaxed);
+}

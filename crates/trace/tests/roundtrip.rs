@@ -1,0 +1,131 @@
+//! Property tests for the canonical event line encoding: for arbitrary
+//! events — including payload strings drawn from a hostile character pool
+//! (quotes, backslashes, control characters, `=`, unicode) — `encode →
+//! parse → re-encode` must reproduce the original event and the original
+//! bytes exactly. This is the determinism keystone: byte-identical traces
+//! across `DCB_THREADS` settings reduce to byte-identical per-event lines.
+
+use dcb_trace::{chrome, Event, EventKind};
+use proptest::prelude::*;
+
+/// Characters the escaper must handle: every escape class plus benign
+/// text, field-syntax look-alikes (`=`, space, `-`), and multi-byte
+/// unicode.
+const POOL: &[char] = &[
+    'a', 'Z', '7', ' ', '"', '\\', '\n', '\t', '\u{1}', '\u{1f}', '=', '-', '{', '}', '±', '∞',
+];
+
+/// Builds a string of up to 12 pool characters from 64 selector bits.
+fn string_from(bits: u64) -> String {
+    let len = (bits % 13) as usize;
+    let mut out = String::new();
+    let mut cursor = bits;
+    for _ in 0..len {
+        cursor = cursor
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        out.push(POOL[(cursor >> 33) as usize % POOL.len()]);
+    }
+    out
+}
+
+/// Builds one of the ten event kinds from a selector and payload bits.
+fn kind_from(selector: u8, bits: u64, number: u64) -> EventKind {
+    match selector {
+        0 => EventKind::OutageStart {
+            config: string_from(bits),
+            technique: string_from(bits.rotate_left(17)),
+            outage_us: number,
+        },
+        1 => EventKind::DgRampPhase {
+            phase: string_from(bits),
+        },
+        2 => EventKind::BatteryDeplete,
+        3 => EventKind::TechniqueTransition {
+            from: string_from(bits),
+            to: string_from(bits.rotate_left(29)),
+        },
+        4 => EventKind::SegmentCommit {
+            end_cause: string_from(bits),
+            load_mw: number,
+            throughput_pm: number % 1001,
+            in_downtime: bits & 1 == 1,
+        },
+        5 => EventKind::DustSnap,
+        6 => EventKind::CacheHit {
+            digest: string_from(bits),
+        },
+        7 => EventKind::CacheMiss {
+            digest: string_from(bits),
+        },
+        8 => EventKind::ShortfallRoot { bisections: number },
+        _ => EventKind::Evaluate {
+            config: string_from(bits),
+            technique: string_from(bits.rotate_left(41)),
+            feasible: bits & 1 == 0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    #[test]
+    fn encode_parse_reencode_is_byte_identical(
+        lane in 0u64..=u64::MAX,
+        seq in 0u32..=u32::MAX,
+        parent_bits in 0u64..=u64::MAX,
+        at_bits in 0u64..=u64::MAX,
+        dur in 0u64..=u64::MAX,
+        selector in 0u8..10,
+        bits in 0u64..=u64::MAX,
+        number in 0u64..=u64::MAX,
+    ) {
+        let event = Event {
+            lane,
+            seq,
+            parent: (parent_bits & 1 == 1).then_some((parent_bits >> 1) as u32),
+            at_us: (at_bits & 1 == 1).then_some(at_bits >> 1),
+            dur_us: dur,
+            kind: kind_from(selector, bits, number),
+        };
+        let line = event.encode();
+        let parsed = Event::parse(&line);
+        prop_assert!(parsed.is_ok(), "canonical line failed to parse: {line:?}");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &event);
+        prop_assert_eq!(parsed.encode(), line);
+    }
+
+    #[test]
+    fn arbitrary_event_sets_export_valid_chrome_traces(
+        count in 0usize..40,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let mut cursor = seed;
+        let mut next = || {
+            cursor = cursor.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
+            cursor
+        };
+        let mut events = Vec::with_capacity(count);
+        for i in 0..count {
+            let bits = next();
+            let number = next();
+            let at = next();
+            events.push(Event {
+                // A few lanes so the exporter exercises multiple tracks.
+                lane: (next() % 3) << 32,
+                seq: i as u32,
+                parent: (bits & 2 == 2).then_some((bits >> 2) as u32),
+                // Bounded timestamps keep f64 round-trips in the validator exact.
+                at_us: (at & 1 == 1).then_some((at >> 1) % (1 << 50)),
+                dur_us: next() % (1 << 50),
+                kind: kind_from((bits % 10) as u8, bits, number),
+            });
+        }
+        let document = chrome::export(&events);
+        let validated = chrome::validate(&document);
+        prop_assert!(validated.is_ok(), "invalid trace: {:?}", validated);
+        prop_assert_eq!(validated.unwrap(), events.len());
+    }
+}
