@@ -22,13 +22,27 @@ cargo test -q
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== topology differential tests (single-path == kernel, bit for bit)"
+cargo test -q --release -p dcb-topology --test differential
+
+echo "== topology aggregation proptests (explicit == collapsed, thread-invariant)"
+cargo test -q --release -p dcb-topology --test aggregation
+
 echo "== engine bench smoke (event kernel vs stepped oracle)"
 DCB_ENGINE_BENCH_SMOKE=1 cargo bench -q -p dcb-bench --bench engine
 
-echo "== bench history floor (newest BENCH_history.jsonl entry >= 5x)"
-min=$(tail -n 1 BENCH_history.jsonl | sed -n 's/.*"min_speedup": \([0-9.eE+-]*\).*/\1/p')
-test -n "$min" || { echo "no min_speedup in newest BENCH_history.jsonl entry"; exit 1; }
-awk -v m="$min" 'BEGIN { if (m + 0 < 5.0) { print "bench history floor violated: " m "x < 5x"; exit 1 } }'
+echo "== engine bench history floor (newest engine entry >= 5x)"
+min=$(grep '"bench": "engine"' BENCH_history.jsonl | tail -n 1 | sed -n 's/.*"min_speedup": \([0-9.eE+-]*\).*/\1/p')
+test -n "$min" || { echo "no min_speedup in newest engine BENCH_history.jsonl entry"; exit 1; }
+awk -v m="$min" 'BEGIN { if (m + 0 < 5.0) { print "engine bench history floor violated: " m "x < 5x"; exit 1 } }'
+
+echo "== topology bench smoke (aggregated vs flat resolution)"
+DCB_TOPOLOGY_BENCH_SMOKE=1 cargo bench -q -p dcb-bench --bench topology
+
+echo "== topology bench history floor (newest topology entry >= 10x)"
+min=$(grep '"bench": "topology"' BENCH_history.jsonl | tail -n 1 | sed -n 's/.*"min_speedup": \([0-9.eE+-]*\).*/\1/p')
+test -n "$min" || { echo "no min_speedup in newest topology BENCH_history.jsonl entry"; exit 1; }
+awk -v m="$min" 'BEGIN { if (m + 0 < 10.0) { print "topology bench history floor violated: " m "x < 10x"; exit 1 } }'
 
 echo "== dcb-audit check (workspace invariants)"
 cargo run --release -q -p dcb-audit -- check

@@ -1,0 +1,16 @@
+//! Fixture: a topology-flavored unit leak — raw f64 carrying power through
+//! the graph layer (3 expected `unit-leak` findings).
+
+pub struct FeedEdge {
+    pub capacity_watts: f64,
+    pub shed_kw: f64,
+}
+
+pub fn boost_watts() -> f64 {
+    1_000.0 * 1.25
+}
+
+pub fn collapse_ratio(explicit: f64, resolved: f64) -> f64 {
+    // Ratios and counts are unitless; they stay clean even here.
+    explicit / resolved
+}

@@ -38,6 +38,7 @@ fn count(lints: &[&str], lint: &str) -> usize {
 fn every_lint_class_is_detected() {
     for (fixture, lint, expected) in [
         ("unit_leak.rs", "unit-leak", 3),
+        ("topology_unit_leak.rs", "unit-leak", 3),
         ("float_cmp.rs", "float-cmp", 3),
         ("hash_container.rs", "hash-container", 2),
         ("time_source.rs", "time-source", 2),
@@ -105,6 +106,47 @@ fn trace_reads_fenced_but_recording_allowed() {
     bench_file.crate_name = "bench".to_owned();
     let reads = "pub fn f() { let _ = dcb_trace::chrome::export(&dcb_trace::drain()); }";
     assert!(check_source(&bench_file, reads).is_empty());
+}
+
+#[test]
+fn topology_crate_is_covered_by_the_core_lints() {
+    // The graph layer is model code: every determinism/unit lint the issue
+    // names must apply to `crates/topology` — no scope-matrix exemption.
+    let covered = [
+        "unit-leak",
+        "float-cmp",
+        "panic-site",
+        "time-source",
+        "telemetry-in-result",
+        "trace-in-result",
+    ];
+    let specs = dcb_audit::lints::all();
+    for lint in covered {
+        let spec = specs
+            .iter()
+            .find(|s| s.name == lint)
+            .unwrap_or_else(|| panic!("lint {lint} missing from the registry"));
+        assert!(
+            !spec.exempt_crates.contains(&"topology"),
+            "{lint} must cover crates/topology"
+        );
+        assert!(
+            spec.roles.contains(&Role::Library),
+            "{lint} must apply to library code"
+        );
+    }
+    // And concretely: seeded violations in a topology library file fire.
+    let file = SourceFile {
+        path: PathBuf::from("crates/topology/src/resolve.rs"),
+        rel: "crates/topology/src/resolve.rs".to_owned(),
+        role: Role::Library,
+        crate_name: "topology".to_owned(),
+    };
+    let seeded = "pub fn f(feed_watts: f64) {\n    let _ = feed_watts == 0.0;\n    let _ = dcb_trace::drain();\n    panic!(\"deficit\");\n}\n";
+    let found: Vec<_> = check_source(&file, seeded).iter().map(|f| f.lint).collect();
+    for lint in ["unit-leak", "float-cmp", "trace-in-result", "panic-site"] {
+        assert_eq!(count(&found, lint), 1, "found {found:?}");
+    }
 }
 
 #[test]

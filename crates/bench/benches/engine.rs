@@ -169,7 +169,7 @@ fn render_history_line(mode: &str, measurements: &[Measurement], min_speedup: f6
         .map(|m| format!("{{\"name\": \"{}\", \"speedup\": {}}}", m.name, m.speedup()))
         .collect();
     format!(
-        "{{\"unix_s\": {unix_s}, \"mode\": \"{mode}\", \"min_speedup\": {min_speedup}, \"workloads\": [{}]}}\n",
+        "{{\"bench\": \"engine\", \"unix_s\": {unix_s}, \"mode\": \"{mode}\", \"min_speedup\": {min_speedup}, \"workloads\": [{}]}}\n",
         workloads.join(", ")
     )
 }

@@ -7,7 +7,7 @@
 //! cargo run --release -p dcb-bench --bin repro -- sensitivity
 //! ```
 
-use dcb_bench::{all_exhibits, explain, extra_exhibits, tables, verify};
+use dcb_bench::{all_exhibits, explain, extra_exhibits, tables, topo, verify};
 use dcb_trace::TraceMode;
 
 fn main() {
@@ -33,7 +33,23 @@ fn main() {
             }
         }
     }
-    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    // `repro topo <spec-file> [durations...]` resolves a whole facility
+    // described by a text spec through the hierarchical power graph. It
+    // falls through (with no exhibits) so DCB_TRACE exports the per-level
+    // topology lanes like any other run.
+    let topo_run = args.first().map(String::as_str) == Some("topo");
+    if topo_run {
+        match topo::run_cli(&args[1..]) {
+            Ok(report) => print!("{report}"),
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let wanted: Vec<String> = if topo_run {
+        Vec::new()
+    } else if args.is_empty() || args.iter().any(|a| a == "all") {
         all_exhibits()
             .iter()
             .chain(extra_exhibits().iter())

@@ -17,6 +17,7 @@ pub mod csv;
 pub mod explain;
 pub mod figures;
 pub mod tables;
+pub mod topo;
 pub mod verify;
 
 /// A named exhibit generator.

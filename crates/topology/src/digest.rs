@@ -1,0 +1,212 @@
+//! Structural digests and subtree aggregation.
+//!
+//! Two subtrees are *structurally identical* when they differ at most in
+//! display names: same level, same feed capacity, same backup provisioning,
+//! same consumer payloads, and structurally identical children with the
+//! same multiplicities. [`unit_digest`] captures that identity as a stable
+//! 128-bit fingerprint (the same FNV-1a machinery `dcb-fleet` uses for
+//! [`dcb_fleet::Scenario`] memoization keys), and [`collapse`] normalizes a
+//! tree by merging equal-digest siblings into one node with a summed
+//! multiplicity — the transform that lets a million-server datacenter
+//! resolve in thousands of node-steps.
+
+use crate::node::{Body, Node, Topology};
+use dcb_fleet::StableHasher;
+
+/// The structural fingerprint of *one copy* of a subtree.
+///
+/// Display names are deliberately excluded so that `rack#0 … rack#39`
+/// produced by [`Node::expand`] collapse back into one aggregated node.
+/// The node's own multiplicity is also excluded (it says how many copies
+/// exist, not what a copy is), but children's multiplicities are included
+/// because they shape the copy's interior.
+#[must_use]
+pub fn unit_digest(node: &Node) -> u128 {
+    let mut hasher = StableHasher::new();
+    absorb(node, &mut hasher);
+    hasher.finish()
+}
+
+fn absorb(node: &Node, hasher: &mut StableHasher) {
+    hasher.write_str(node.level.name());
+    match node.feed_capacity {
+        Some(capacity) => {
+            hasher.write_u64(1);
+            hasher.write_f64(capacity.value());
+        }
+        None => hasher.write_u64(0),
+    }
+    match &node.backup {
+        Some(config) => {
+            hasher.write_u64(1);
+            hasher.write_debug(config);
+        }
+        None => hasher.write_u64(0),
+    }
+    match &node.body {
+        Body::Consumer(consumer) => {
+            hasher.write_str("consumer");
+            hasher.write_debug(&consumer.cluster);
+            hasher.write_debug(&consumer.technique);
+            hasher.write_u64(u64::from(consumer.priority));
+            hasher.write_debug(&consumer.on_deficit);
+        }
+        Body::Group(children) => {
+            hasher.write_str("group");
+            hasher.write_u64(children.len() as u64);
+            for child in children {
+                hasher.write_u64(u64::from(child.multiplicity));
+                let child_digest = unit_digest(child);
+                hasher.write_u64(child_digest as u64);
+                hasher.write_u64((child_digest >> 64) as u64);
+            }
+        }
+    }
+}
+
+/// Canonicalizes a subtree: children collapse recursively, then siblings
+/// with equal [`unit_digest`]s merge into one node with their
+/// multiplicities summed (first-seen sibling order is preserved, so
+/// deficit allocation order is unchanged — equal digests imply equal
+/// priorities, making merged copies interchangeable).
+#[must_use]
+pub fn collapse(node: &Node) -> Node {
+    let body = match &node.body {
+        Body::Consumer(consumer) => Body::Consumer(consumer.clone()),
+        Body::Group(children) => {
+            let collapsed: Vec<Node> = children.iter().map(collapse).collect();
+            let mut merged: Vec<(u128, Node)> = Vec::with_capacity(collapsed.len());
+            for child in collapsed {
+                let digest = unit_digest(&child);
+                match merged.iter_mut().find(|(d, _)| *d == digest) {
+                    Some((_, existing)) => {
+                        existing.multiplicity += child.multiplicity;
+                    }
+                    None => merged.push((digest, child)),
+                }
+            }
+            Body::Group(merged.into_iter().map(|(_, child)| child).collect())
+        }
+    };
+    Node {
+        name: node.name.clone(),
+        level: node.level,
+        multiplicity: node.multiplicity,
+        feed_capacity: node.feed_capacity,
+        backup: node.backup.clone(),
+        body,
+    }
+}
+
+impl Topology {
+    /// The canonical aggregated form of this topology (see [`collapse`]).
+    #[must_use]
+    pub fn collapse(&self) -> Topology {
+        Topology::new(collapse(&self.root))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Consumer, Level};
+    use dcb_power::BackupConfig;
+    use dcb_sim::{Cluster, Technique};
+    use dcb_units::Watts;
+    use dcb_workload::Workload;
+
+    fn rack(name: &str) -> Node {
+        Node::consumer(
+            name,
+            Level::Rack,
+            Consumer::new(
+                Cluster::rack(Workload::specjbb()),
+                Technique::ride_through(),
+            ),
+        )
+    }
+
+    #[test]
+    fn names_do_not_affect_the_digest() {
+        assert_eq!(unit_digest(&rack("a")), unit_digest(&rack("b")));
+    }
+
+    #[test]
+    fn structure_does_affect_the_digest() {
+        let base = rack("r");
+        let capped = rack("r").with_feed_capacity(Watts::new(1000.0));
+        let backed = rack("r").with_backup(BackupConfig::no_dg());
+        let other_priority = Node::consumer(
+            "r",
+            Level::Rack,
+            Consumer::new(
+                Cluster::rack(Workload::specjbb()),
+                Technique::ride_through(),
+            )
+            .with_priority(3),
+        );
+        let digests = [
+            unit_digest(&base),
+            unit_digest(&capped),
+            unit_digest(&backed),
+            unit_digest(&other_priority),
+        ];
+        for (i, a) in digests.iter().enumerate() {
+            for b in &digests[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_collapses_back() {
+        let aggregated = Node::group("c", Level::Cluster, vec![rack("r").times(40)]);
+        let explicit = Node::group(
+            "c",
+            Level::Cluster,
+            (0..40).map(|i| rack(&format!("r{i}"))).collect(),
+        );
+        let collapsed = collapse(&explicit);
+        assert_eq!(unit_digest(&collapsed), unit_digest(&aggregated));
+        match &collapsed.body {
+            Body::Group(children) => {
+                assert_eq!(children.len(), 1);
+                assert_eq!(children[0].multiplicity, 40);
+            }
+            Body::Consumer(_) => unreachable!("collapsed group stays a group"),
+        }
+    }
+
+    #[test]
+    fn unequal_siblings_stay_separate() {
+        let web = rack("web");
+        let batch = Node::consumer(
+            "batch",
+            Level::Rack,
+            Consumer::new(Cluster::rack(Workload::spec_cpu()), Technique::hibernate()),
+        );
+        let group = Node::group("c", Level::Cluster, vec![web, batch]);
+        let collapsed = collapse(&group);
+        match &collapsed.body {
+            Body::Group(children) => assert_eq!(children.len(), 2),
+            Body::Consumer(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn multiplicities_merge_additively() {
+        let group = Node::group(
+            "c",
+            Level::Cluster,
+            vec![rack("a").times(3), rack("b").times(4)],
+        );
+        let collapsed = collapse(&group);
+        match &collapsed.body {
+            Body::Group(children) => {
+                assert_eq!(children.len(), 1);
+                assert_eq!(children[0].multiplicity, 7);
+            }
+            Body::Consumer(_) => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Resolution results: the aggregate outcome, per-level reports, and
+//! resolver statistics.
+
+use crate::node::Level;
+use dcb_sim::SimOutcome;
+use dcb_units::Fraction;
+use dcb_workload::DowntimeRange;
+
+/// Work accounting for one resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ResolveStats {
+    /// Nodes the fully expanded tree would have.
+    pub explicit_nodes: u64,
+    /// Node-steps the resolver actually took (aggregated representation).
+    pub resolved_nodes: u64,
+    /// Leaf simulations implied by the tree (counting multiplicities).
+    pub implied_leaf_sims: u64,
+    /// Distinct kernel simulations actually run after deduplication.
+    pub distinct_leaf_sims: u64,
+    /// Deficit events: allocation decisions that shed at least one copy.
+    pub shed_events: u64,
+    /// Servers served at their chosen technique.
+    pub served_servers: u64,
+    /// Servers degraded to their brownout technique.
+    pub browned_out_servers: u64,
+    /// Servers shed (crashed by the deficit policy).
+    pub shed_servers: u64,
+}
+
+impl ResolveStats {
+    /// How many explicit nodes each resolved node-step stood for.
+    #[must_use]
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.resolved_nodes == 0 {
+            1.0
+        } else {
+            self.explicit_nodes as f64 / self.resolved_nodes as f64
+        }
+    }
+}
+
+/// Aggregated results for one hierarchy level.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LevelReport {
+    /// The level this row summarizes.
+    pub level: Level,
+    /// Resolved node-steps at this level.
+    pub resolved_nodes: u64,
+    /// Explicit nodes at this level (counting multiplicities).
+    pub explicit_nodes: u64,
+    /// Servers below this level's nodes (each level sees the fleet at its
+    /// own granularity).
+    pub servers: u64,
+    /// Servers shed below this level's deficit decisions.
+    pub shed_servers: u64,
+    /// The worst downtime range among this level's node aggregates.
+    pub worst_downtime: DowntimeRange,
+    /// The lowest outage-window performance among this level's nodes.
+    pub min_perf: Fraction,
+}
+
+/// The full result of resolving a topology through one outage.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TopologyOutcome {
+    /// The facility-level aggregate, in the same terms as a flat kernel
+    /// run: a degenerate single-path topology's `aggregate` is bit-equal
+    /// to [`dcb_sim::OutageSim::run`] on the same scenario.
+    pub aggregate: SimOutcome,
+    /// Per-level summaries, outermost level first (levels with no nodes
+    /// are omitted).
+    pub levels: Vec<LevelReport>,
+    /// Work accounting.
+    pub stats: ResolveStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapse_ratio_guards_division() {
+        let stats = ResolveStats::default();
+        assert!((stats.collapse_ratio() - 1.0).abs() < 1e-12);
+        let busy = ResolveStats {
+            explicit_nodes: 1011,
+            resolved_nodes: 3,
+            ..ResolveStats::default()
+        };
+        assert!((busy.collapse_ratio() - 337.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Differential guarantee: a degenerate single-path topology is the flat
+//! kernel scenario, and its resolved aggregate must match
+//! [`OutageSim::run`] **bit-for-bit** — every field, every float.
+//!
+//! Mirrors the harness shape of `crates/sim/tests/differential.rs`: an
+//! exhaustive sweep over the Table-3 configuration grid × the extended
+//! technique catalog × representative outage durations, plus a proptest
+//! over randomly drawn grid points and durations.
+
+use dcb_power::BackupConfig;
+use dcb_sim::{Cluster, OutageSim, Technique};
+use dcb_topology::{resolve, resolve_flat, Topology};
+use dcb_units::Seconds;
+use dcb_workload::Workload;
+use proptest::prelude::*;
+
+fn workloads() -> [Workload; 4] {
+    [
+        Workload::specjbb(),
+        Workload::web_search(),
+        Workload::memcached(),
+        Workload::spec_cpu(),
+    ]
+}
+
+/// The full Table-3 × extended-catalog × duration grid (9 × 16 × 3 per
+/// workload): the topology aggregate equals the kernel outcome exactly.
+#[test]
+fn single_path_matches_kernel_bit_for_bit() {
+    let durations = [30.0, 1800.0, 7200.0];
+    let mut points = 0u32;
+    for workload in workloads() {
+        let cluster = Cluster::rack(workload);
+        for config in BackupConfig::table3() {
+            for technique in Technique::extended_catalog() {
+                for duration in durations {
+                    let outage = Seconds::new(duration);
+                    let expected =
+                        OutageSim::new(cluster, config.clone(), technique.clone()).run(outage);
+                    let topology =
+                        Topology::single_path(cluster, config.clone(), technique.clone());
+                    let outcome = resolve(&topology, outage).expect("single path resolves");
+                    assert_eq!(
+                        outcome.aggregate,
+                        expected,
+                        "config={config} technique={} outage={duration}s",
+                        technique.name()
+                    );
+                    points += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(points, 4 * 9 * 16 * 3, "the sweep must cover the full grid");
+}
+
+/// A single-path topology needs exactly one kernel run and no shedding.
+#[test]
+fn single_path_stats_are_degenerate() {
+    let topology = Topology::single_path(
+        Cluster::rack(Workload::specjbb()),
+        BackupConfig::max_perf(),
+        Technique::ride_through(),
+    );
+    let outcome = resolve(&topology, Seconds::new(600.0)).expect("resolves");
+    assert_eq!(outcome.stats.distinct_leaf_sims, 1);
+    assert_eq!(outcome.stats.implied_leaf_sims, 1);
+    assert_eq!(outcome.stats.shed_events, 0);
+    assert_eq!(outcome.stats.shed_servers, 0);
+    assert_eq!(outcome.stats.served_servers, 16);
+    assert_eq!(outcome.stats.explicit_nodes, 3);
+    // Three levels reported: datacenter, cluster, rack.
+    assert_eq!(outcome.levels.len(), 3);
+    assert!(outcome.levels.iter().all(|level| level.shed_servers == 0));
+}
+
+/// Flat (expanded) resolution of a single path is the identity transform,
+/// so it must also be bit-exact.
+#[test]
+fn single_path_flat_resolution_is_also_exact() {
+    for technique in Technique::catalog() {
+        let cluster = Cluster::rack(Workload::web_search());
+        let outage = Seconds::new(900.0);
+        let expected =
+            OutageSim::new(cluster, BackupConfig::small_pups(), technique.clone()).run(outage);
+        let topology = Topology::single_path(cluster, BackupConfig::small_pups(), technique);
+        let outcome = resolve_flat(&topology, outage).expect("resolves");
+        assert_eq!(outcome.aggregate, expected);
+    }
+}
+
+proptest! {
+    /// Random grid points: any (config, technique, workload, duration)
+    /// combination agrees exactly, including off-grid durations.
+    #[test]
+    fn random_single_paths_agree(
+        config_ix in 0usize..9,
+        technique_ix in 0usize..16,
+        workload_ix in 0usize..4,
+        duration in 30.0f64..7200.0,
+    ) {
+        let config = BackupConfig::table3().swap_remove(config_ix);
+        let technique = Technique::extended_catalog().swap_remove(technique_ix);
+        let cluster = Cluster::rack(workloads()[workload_ix]);
+        let outage = Seconds::new(duration);
+        let expected = OutageSim::new(cluster, config.clone(), technique.clone()).run(outage);
+        let topology = Topology::single_path(cluster, config, technique);
+        let outcome = resolve(&topology, outage).expect("resolves");
+        prop_assert_eq!(outcome.aggregate, expected);
+    }
+}

@@ -145,6 +145,32 @@ fn write_event(out: &mut String, lane: u64, ts: u64, event: &Event) {
             escape_json_into(out, technique);
             let _ = write!(out, "\",\"feasible\":{feasible}");
         }
+        EventKind::TopoResolve {
+            level,
+            name,
+            multiplicity,
+            feasible,
+        } => {
+            out.push_str(",\"level\":\"");
+            escape_json_into(out, level);
+            out.push_str("\",\"node\":\"");
+            escape_json_into(out, name);
+            let _ = write!(
+                out,
+                "\",\"multiplicity\":{multiplicity},\"feasible\":{feasible}"
+            );
+        }
+        EventKind::TopoShed {
+            level,
+            name,
+            servers,
+        } => {
+            out.push_str(",\"level\":\"");
+            escape_json_into(out, level);
+            out.push_str("\",\"node\":\"");
+            escape_json_into(out, name);
+            let _ = write!(out, "\",\"servers\":{servers}");
+        }
     }
     out.push_str("}}");
 }

@@ -100,6 +100,27 @@ pub enum EventKind {
         /// Whether the technique executed as intended.
         feasible: bool,
     },
+    /// A topology node (possibly standing for many identical copies)
+    /// finished resolving.
+    TopoResolve {
+        /// Hierarchy level name (`datacenter`, `cluster`, `rack`, `server`).
+        level: String,
+        /// Display name of the node.
+        name: String,
+        /// Explicit copies the resolved node stood for.
+        multiplicity: u64,
+        /// Whether every consumer below executed its technique as planned.
+        feasible: bool,
+    },
+    /// A deficit decision cut power to a topology consumer class.
+    TopoShed {
+        /// Hierarchy level name of the shed node.
+        level: String,
+        /// Display name of the shed node.
+        name: String,
+        /// Servers shed (counting multiplicities).
+        servers: u64,
+    },
 }
 
 impl EventKind {
@@ -117,6 +138,8 @@ impl EventKind {
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::ShortfallRoot { .. } => "shortfall_root",
             EventKind::Evaluate { .. } => "evaluate",
+            EventKind::TopoResolve { .. } => "topo_resolve",
+            EventKind::TopoShed { .. } => "topo_shed",
         }
     }
 
@@ -133,6 +156,7 @@ impl EventKind {
             EventKind::DustSnap => "battery",
             EventKind::CacheHit { .. } | EventKind::CacheMiss { .. } => "fleet",
             EventKind::Evaluate { .. } => "core",
+            EventKind::TopoResolve { .. } | EventKind::TopoShed { .. } => "topology",
         }
     }
 }
@@ -210,6 +234,29 @@ impl Event {
                 escape_into(&mut out, technique);
                 let _ = write!(out, " feasible={feasible}");
             }
+            EventKind::TopoResolve {
+                level,
+                name,
+                multiplicity,
+                feasible,
+            } => {
+                out.push_str(" level=");
+                escape_into(&mut out, level);
+                out.push_str(" name=");
+                escape_into(&mut out, name);
+                let _ = write!(out, " multiplicity={multiplicity} feasible={feasible}");
+            }
+            EventKind::TopoShed {
+                level,
+                name,
+                servers,
+            } => {
+                out.push_str(" level=");
+                escape_into(&mut out, level);
+                out.push_str(" name=");
+                escape_into(&mut out, name);
+                let _ = write!(out, " servers={servers}");
+            }
         }
         out
     }
@@ -262,6 +309,17 @@ impl Event {
                 config: cursor.field("config")?.string()?,
                 technique: cursor.field("technique")?.string()?,
                 feasible: cursor.field("feasible")?.parse_bool()?,
+            },
+            "topo_resolve" => EventKind::TopoResolve {
+                level: cursor.field("level")?.string()?,
+                name: cursor.field("name")?.string()?,
+                multiplicity: cursor.field("multiplicity")?.parse_u64()?,
+                feasible: cursor.field("feasible")?.parse_bool()?,
+            },
+            "topo_shed" => EventKind::TopoShed {
+                level: cursor.field("level")?.string()?,
+                name: cursor.field("name")?.string()?,
+                servers: cursor.field("servers")?.parse_u64()?,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         };
@@ -494,6 +552,17 @@ mod tests {
                 config: "MinCost".to_owned(),
                 technique: "Sleep".to_owned(),
                 feasible: false,
+            },
+            EventKind::TopoResolve {
+                level: "cluster".to_owned(),
+                name: "row-7".to_owned(),
+                multiplicity: 100,
+                feasible: true,
+            },
+            EventKind::TopoShed {
+                level: "rack".to_owned(),
+                name: "batch".to_owned(),
+                servers: 1600,
             },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

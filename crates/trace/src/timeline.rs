@@ -198,6 +198,24 @@ fn render_line(
                 "evaluated  config={config}  technique={technique}  feasible={feasible}"
             );
         }
+        EventKind::TopoResolve {
+            level,
+            name,
+            multiplicity,
+            feasible,
+        } => {
+            let _ = writeln!(
+                out,
+                "resolved {level} {name}  x{multiplicity}  feasible={feasible}"
+            );
+        }
+        EventKind::TopoShed {
+            level,
+            name,
+            servers,
+        } => {
+            let _ = writeln!(out, "shed {level} {name}  servers={servers}");
+        }
         EventKind::SegmentCommit { .. } => {}
     }
 }

@@ -75,9 +75,19 @@
 //! byte-reproducible metric snapshot, or `text` for a human-readable
 //! report; see OBSERVABILITY.md for the metric catalog.
 //!
+//! ## Hierarchical topologies
+//!
+//! The flat kernel evaluates one cluster behind one backup configuration.
+//! [`topology`] scales that to a whole facility: a DC → cluster → rack
+//! tree with capacity-limited feed edges, backup provisioned per subtree,
+//! and prioritized consumers with shed/brownout deficit policies.
+//! Identical subtrees resolve once (structural-digest aggregation), so a
+//! million-server DC resolves in thousands of node-steps; see DESIGN.md
+//! §12 and `repro topo --help` for the spec format.
+//!
 //! The sub-crates are re-exported as modules: [`units`], [`battery`],
 //! [`outage`], [`server`], [`workload`], [`migration`], [`power`], [`sim`],
-//! [`fleet`], [`core`], and [`telemetry`].
+//! [`fleet`], [`core`], [`topology`], and [`telemetry`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -91,5 +101,6 @@ pub use dcb_power as power;
 pub use dcb_server as server;
 pub use dcb_sim as sim;
 pub use dcb_telemetry as telemetry;
+pub use dcb_topology as topology;
 pub use dcb_units as units;
 pub use dcb_workload as workload;
