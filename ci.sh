@@ -62,6 +62,16 @@ cargo test -q --release -p dcb-bench --test trace_chrome
 echo "== explain timeline consistency (trace tally vs kernel outcome)"
 cargo test -q --release -p dcb-bench --test explain_timeline
 
+echo "== dcb-audit graph (call-graph passes vs audit.baseline.json, 10s budget)"
+graph_start=$(date +%s)
+cargo run --release -q -p dcb-audit -- graph
+graph_end=$(date +%s)
+graph_elapsed=$((graph_end - graph_start))
+test "$graph_elapsed" -le 10 || { echo "dcb-audit graph took ${graph_elapsed}s (> 10s budget)"; exit 1; }
+
+echo "== dcb-audit graph self-test (taint/unit-flow fixtures + ratchet)"
+cargo test -q -p dcb-audit --test graphtest
+
 echo "== dcb-audit docs (markdown links + DESIGN.md section references)"
 cargo run --release -q -p dcb-audit -- docs
 

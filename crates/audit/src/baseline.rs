@@ -1,0 +1,189 @@
+//! The baseline ratchet for graph findings: a committed
+//! `audit.baseline.json` records the accepted findings by stable key
+//! (line-number free), and CI fails only on *new* findings. Entries whose
+//! finding has disappeared are reported as stale so the file ratchets
+//! downward over time.
+//!
+//! The file is the `render` output of a previous run: one finding key per
+//! line, so the loader is a line-oriented string extractor rather than a
+//! JSON parser (the audit crate deliberately has no serde).
+
+use crate::report::GraphFinding;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A loaded baseline: the set of accepted finding keys, sorted.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Accepted finding keys.
+    pub keys: Vec<String>,
+}
+
+/// The comparison of a run against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff<'a> {
+    /// Findings not in the baseline — these fail CI.
+    pub fresh: Vec<&'a GraphFinding>,
+    /// Findings covered by the baseline.
+    pub accepted: Vec<&'a GraphFinding>,
+    /// Baseline keys with no matching finding anymore — ratchet these out.
+    pub stale: Vec<String>,
+}
+
+/// Loads a baseline file. A missing file is an empty baseline (first run);
+/// an unreadable or unparseable file is an error.
+///
+/// # Errors
+///
+/// Returns a message if the file exists but cannot be read, or contains a
+/// `"key"` line that cannot be unescaped.
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    if !path.exists() {
+        return Ok(Baseline::default());
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+/// Parses baseline text (the format written by [`render`]).
+///
+/// # Errors
+///
+/// Returns a message for a malformed `"key"` line.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut keys = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let Some(at) = line.find("\"key\":") else {
+            continue;
+        };
+        let rest = line[at + "\"key\":".len()..].trim_start();
+        let key = json_unstring(rest)
+            .ok_or_else(|| format!("baseline line {}: malformed key string", i + 1))?;
+        keys.push(key);
+    }
+    keys.sort();
+    keys.dedup();
+    Ok(Baseline { keys })
+}
+
+/// Reads a leading JSON string literal, unescaping it.
+fn json_unstring(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    if bytes.first() != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut chars = s[1..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Renders findings as a baseline document (ready to commit).
+#[must_use]
+pub fn render(findings: &[GraphFinding]) -> String {
+    let mut keys: Vec<&str> = findings.iter().map(|f| f.key.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut out = String::from("{\n  \"schema\": \"dcb-audit-baseline/1\",\n  \"entries\": [");
+    for (i, key) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"key\": {}}}",
+            crate::report::json_string(key)
+        );
+    }
+    if keys.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    let _ = write!(out, ",\n  \"count\": {}\n}}\n", keys.len());
+    out
+}
+
+/// Compares a run's findings against a baseline.
+#[must_use]
+pub fn diff<'a>(findings: &'a [GraphFinding], base: &Baseline) -> Diff<'a> {
+    let mut d = Diff::default();
+    for f in findings {
+        if base.keys.binary_search(&f.key).is_ok() {
+            d.accepted.push(f);
+        } else {
+            d.fresh.push(f);
+        }
+    }
+    for key in &base.keys {
+        if !findings.iter().any(|f| &f.key == key) {
+            d.stale.push(key.clone());
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(key: &str) -> GraphFinding {
+        GraphFinding {
+            pass: "determinism-taint",
+            key: key.to_owned(),
+            file: "crates/x/src/lib.rs".to_owned(),
+            line: 1,
+            message: "m".to_owned(),
+            path: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let findings = vec![finding("b:key \"quoted\""), finding("a:key")];
+        let text = render(&findings);
+        let base = parse(&text).expect("round trip");
+        assert_eq!(
+            base.keys,
+            vec!["a:key".to_owned(), "b:key \"quoted\"".to_owned()]
+        );
+        // Empty baseline renders and parses too.
+        assert!(parse(&render(&[])).expect("empty").keys.is_empty());
+    }
+
+    #[test]
+    fn diff_classifies_fresh_accepted_stale() {
+        let base = parse(&render(&[finding("a"), finding("gone")])).expect("base");
+        let run = vec![finding("a"), finding("new")];
+        let d = diff(&run, &base);
+        assert_eq!(d.accepted.len(), 1);
+        assert_eq!(d.fresh.len(), 1);
+        assert_eq!(d.fresh[0].key, "new");
+        assert_eq!(d.stale, vec!["gone".to_owned()]);
+    }
+
+    #[test]
+    fn missing_file_is_empty_baseline() {
+        let base = load(Path::new("/nonexistent/audit.baseline.json")).expect("missing ok");
+        assert!(base.keys.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! The workspace call graph: resolved edges between [`crate::symbols`]
+//! definitions, with forward and reverse adjacency for the
+//! interprocedural passes.
+
+use crate::symbols::SymbolTable;
+
+/// One resolved call edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Calling fn (index into [`SymbolTable::fns`]).
+    pub caller: usize,
+    /// Called fn (index into [`SymbolTable::fns`]).
+    pub callee: usize,
+    /// Source line of the call site in the caller's file.
+    pub line: u32,
+    /// Index of the call site in the caller's `calls` list.
+    pub call: usize,
+}
+
+/// The resolved call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All edges, in caller order.
+    pub edges: Vec<Edge>,
+    /// `callees[f]` — edge indices where `f` is the caller.
+    pub callees: Vec<Vec<usize>>,
+    /// `callers[f]` — edge indices where `f` is the callee.
+    pub callers: Vec<Vec<usize>>,
+    /// Total call sites seen.
+    pub calls: usize,
+    /// Call sites that resolved to at least one definition.
+    pub resolved: usize,
+}
+
+/// Builds the call graph over a symbol table.
+#[must_use]
+pub fn build(table: &SymbolTable) -> CallGraph {
+    let n = table.fns.len();
+    let mut graph = CallGraph {
+        edges: Vec::new(),
+        callees: vec![Vec::new(); n],
+        callers: vec![Vec::new(); n],
+        calls: 0,
+        resolved: 0,
+    };
+    for (caller_id, caller) in table.fns.iter().enumerate() {
+        for (call_idx, call) in caller.calls.iter().enumerate() {
+            graph.calls += 1;
+            let targets = table.resolve(caller, call);
+            if targets.is_empty() {
+                continue;
+            }
+            graph.resolved += 1;
+            for callee_id in targets {
+                if callee_id == caller_id {
+                    continue; // self-recursion adds nothing to reachability
+                }
+                let edge_id = graph.edges.len();
+                graph.edges.push(Edge {
+                    caller: caller_id,
+                    callee: callee_id,
+                    line: call.line,
+                    call: call_idx,
+                });
+                graph.callees[caller_id].push(edge_id);
+                graph.callers[callee_id].push(edge_id);
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::parse::parse;
+    use crate::walk::{Role, SourceFile};
+    use std::path::PathBuf;
+
+    #[test]
+    fn edges_link_caller_to_callee() {
+        let src = SourceFile {
+            path: PathBuf::from("crates/a/src/lib.rs"),
+            rel: "crates/a/src/lib.rs".to_owned(),
+            role: Role::Library,
+            crate_name: "a".to_owned(),
+        };
+        let parsed = parse(
+            &scan("pub fn leaf() {}\npub fn mid() { leaf(); }\npub fn top() { mid(); mid(); }")
+                .tokens,
+        );
+        let table = SymbolTable::build(&[(src, parsed)]);
+        let graph = build(&table);
+        let id = |name: &str| {
+            table
+                .fns
+                .iter()
+                .position(|f| f.name == name)
+                .expect("fn present")
+        };
+        assert_eq!(graph.calls, 3);
+        assert_eq!(graph.resolved, 3);
+        assert_eq!(graph.callees[id("top")].len(), 2);
+        assert_eq!(graph.callers[id("leaf")].len(), 1);
+        let e = &graph.edges[graph.callers[id("leaf")][0]];
+        assert_eq!(e.caller, id("mid"));
+    }
+}

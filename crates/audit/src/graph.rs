@@ -1,0 +1,305 @@
+//! The whole-workspace semantic analysis front door: walk → lex → parse →
+//! symbol table → call graph → interprocedural passes
+//! ([`crate::taint`], [`crate::unitflow`]), with text and JSON rendering
+//! (stable schema `dcb-audit-graph/1`) and baseline-aware exit semantics.
+
+use crate::baseline::Diff;
+use crate::callgraph::{self, CallGraph};
+use crate::lexer::{self, ScannedFile};
+use crate::parse::{self, ParsedFile};
+use crate::report::{json_string, GraphFinding};
+use crate::symbols::SymbolTable;
+use crate::walk::{self, SourceFile};
+use crate::AuditError;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// JSON schema identifier for [`render_json`] output.
+pub const SCHEMA: &str = "dcb-audit-graph/1";
+
+/// Summary numbers for the analyzed workspace.
+#[derive(Debug, Default, Clone)]
+pub struct GraphStats {
+    /// Source files analyzed.
+    pub files: usize,
+    /// Crates with at least one definition, sorted.
+    pub crates: Vec<String>,
+    /// Function definitions recovered.
+    pub fns: usize,
+    /// Distinct type names seen.
+    pub types: usize,
+    /// Call sites seen.
+    pub calls: usize,
+    /// Call sites resolved to at least one workspace definition.
+    pub resolved: usize,
+    /// Call edges in the graph.
+    pub edges: usize,
+}
+
+/// The result of a graph analysis run.
+#[derive(Debug, Default)]
+pub struct GraphReport {
+    /// Workspace summary numbers.
+    pub stats: GraphStats,
+    /// All findings from all passes, sorted by key.
+    pub findings: Vec<GraphFinding>,
+}
+
+/// Analyzes already-loaded sources (fixtures and tests use this entry
+/// point; [`analyze_root`] feeds it the walked workspace).
+#[must_use]
+pub fn analyze_sources(inputs: Vec<(SourceFile, String)>) -> GraphReport {
+    let mut pairs: Vec<(SourceFile, ParsedFile)> = Vec::with_capacity(inputs.len());
+    let mut scanned: Vec<ScannedFile> = Vec::with_capacity(inputs.len());
+    for (src, text) in inputs {
+        let mut sc = lexer::scan(&text);
+        let parsed = parse::parse(&sc.tokens);
+        parse::expand_allows(&parsed, &mut sc.allows);
+        pairs.push((src, parsed));
+        scanned.push(sc);
+    }
+    let table = SymbolTable::build(&pairs);
+    let graph = callgraph::build(&table);
+    let mut findings = crate::taint::run(&table, &graph, &scanned);
+    findings.extend(crate::unitflow::run(&table, &graph, &scanned));
+    findings.sort_by(|a, b| a.key.cmp(&b.key));
+    GraphReport {
+        stats: stats_of(&pairs, &table, &graph),
+        findings,
+    }
+}
+
+/// Walks the workspace under `root` and analyzes every source file.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] if the tree cannot be walked or a file read.
+pub fn analyze_root(root: &Path) -> Result<GraphReport, AuditError> {
+    let mut inputs = Vec::new();
+    for file in walk::walk(root)? {
+        let text = std::fs::read_to_string(&file.path)
+            .map_err(|e| AuditError::Read(file.rel.clone(), e))?;
+        inputs.push((file, text));
+    }
+    Ok(analyze_sources(inputs))
+}
+
+fn stats_of(
+    pairs: &[(SourceFile, ParsedFile)],
+    table: &SymbolTable,
+    graph: &CallGraph,
+) -> GraphStats {
+    GraphStats {
+        files: pairs.len(),
+        crates: table.crates(),
+        fns: table.fns.len(),
+        types: table.types.len(),
+        calls: graph.calls,
+        resolved: graph.resolved,
+        edges: graph.edges.len(),
+    }
+}
+
+/// Renders the run as human-readable text. Fresh findings print with
+/// their full call path; baselined ones are counted; stale baseline keys
+/// are listed for ratcheting out.
+#[must_use]
+pub fn render_text(report: &GraphReport, diff: &Diff<'_>) -> String {
+    let s = &report.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "graph: {} files, {} crates, {} fns, {} types; {}/{} calls resolved into {} edges",
+        s.files,
+        s.crates.len(),
+        s.fns,
+        s.types,
+        s.resolved,
+        s.calls,
+        s.edges,
+    );
+    for f in &diff.fresh {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.pass, f.message);
+        for (i, step) in f.path.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    #{} {}:{} {}",
+                i + 1,
+                step.file,
+                step.line,
+                step.detail
+            );
+        }
+    }
+    for key in &diff.stale {
+        let _ = writeln!(
+            out,
+            "stale baseline entry (finding no longer occurs): {key}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} finding{}: {} new, {} baselined, {} stale",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        diff.fresh.len(),
+        diff.accepted.len(),
+        diff.stale.len(),
+    );
+    if diff.fresh.is_empty() {
+        out.push_str("graph clean: no new findings\n");
+    }
+    out
+}
+
+/// Renders the run as a JSON document under schema [`SCHEMA`]. Every
+/// finding carries its status (`new` | `baselined`) and full path.
+#[must_use]
+pub fn render_json(report: &GraphReport, diff: &Diff<'_>) -> String {
+    let s = &report.stats;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+    let _ = writeln!(
+        out,
+        "  \"stats\": {{\"files\": {}, \"crates\": {}, \"fns\": {}, \"types\": {}, \"calls\": {}, \"resolved\": {}, \"edges\": {}}},",
+        s.files,
+        s.crates.len(),
+        s.fns,
+        s.types,
+        s.calls,
+        s.resolved,
+        s.edges,
+    );
+    out.push_str("  \"findings\": [");
+    let fresh: std::collections::BTreeSet<&str> =
+        diff.fresh.iter().map(|f| f.key.as_str()).collect();
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let status = if fresh.contains(f.key.as_str()) {
+            "new"
+        } else {
+            "baselined"
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"pass\": {}, \"key\": {}, \"file\": {}, \"line\": {}, \"status\": {}, \"message\": {}, \"path\": [",
+            json_string(f.pass),
+            json_string(&f.key),
+            json_string(&f.file),
+            f.line,
+            json_string(status),
+            json_string(&f.message),
+        );
+        for (j, step) in f.path.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"file\": {}, \"line\": {}, \"detail\": {}}}",
+                json_string(&step.file),
+                step.line,
+                json_string(&step.detail),
+            );
+        }
+        if f.path.is_empty() {
+            out.push(']');
+        } else {
+            out.push_str("\n    ]");
+        }
+        out.push('}');
+    }
+    if report.findings.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    out.push_str(",\n  \"stale\": [");
+    for (i, key) in diff.stale.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(key));
+    }
+    let _ = write!(
+        out,
+        "],\n  \"new\": {},\n  \"baselined\": {}\n}}\n",
+        diff.fresh.len(),
+        diff.accepted.len(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use crate::walk::Role;
+    use std::path::PathBuf;
+
+    fn src(rel: &str, crate_name: &str, text: &str) -> (SourceFile, String) {
+        (
+            SourceFile {
+                path: PathBuf::from(rel),
+                rel: rel.to_owned(),
+                role: Role::Library,
+                crate_name: crate_name.to_owned(),
+            },
+            text.to_owned(),
+        )
+    }
+
+    fn tainted_pair() -> Vec<(SourceFile, String)> {
+        vec![
+            src(
+                "crates/fleet/src/scenario.rs",
+                "fleet",
+                "impl Scenario { pub fn digest(&self) -> u128 { 0 } }",
+            ),
+            src(
+                "crates/power/src/lib.rs",
+                "power",
+                "use std::collections::HashMap;\n\
+                 pub fn order(m: &HashMap<u32, f64>) -> Vec<f64> { m.values().copied().collect() }\n\
+                 pub fn seal(s: &Scenario, m: &HashMap<u32, f64>) -> u128 { let _v = order(m); s.digest() }",
+            ),
+        ]
+    }
+
+    #[test]
+    fn end_to_end_report_and_renders() {
+        let report = analyze_sources(tainted_pair());
+        assert_eq!(
+            report.stats.crates,
+            vec!["fleet".to_owned(), "power".to_owned()]
+        );
+        assert_eq!(report.findings.len(), 1);
+        let empty = baseline::Baseline::default();
+        let d = baseline::diff(&report.findings, &empty);
+        let text = render_text(&report, &d);
+        assert!(
+            text.contains("1 finding: 1 new, 0 baselined, 0 stale"),
+            "{text}"
+        );
+        assert!(text.contains("#1 "), "{text}");
+        let json = render_json(&report, &d);
+        assert!(json.contains("\"schema\": \"dcb-audit-graph/1\""));
+        assert!(json.contains("\"status\": \"new\""));
+        assert!(json.contains("\"path\": ["));
+    }
+
+    #[test]
+    fn baselined_run_reports_clean() {
+        let report = analyze_sources(tainted_pair());
+        let base = baseline::parse(&baseline::render(&report.findings)).expect("baseline");
+        let d = baseline::diff(&report.findings, &base);
+        assert!(d.fresh.is_empty());
+        let text = render_text(&report, &d);
+        assert!(text.contains("graph clean: no new findings"), "{text}");
+        let json = render_json(&report, &d);
+        assert!(json.contains("\"status\": \"baselined\""));
+        assert!(json.contains("\"new\": 0"));
+    }
+}

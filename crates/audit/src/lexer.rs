@@ -77,6 +77,11 @@ impl TokenKind {
 pub struct AllowDirective {
     /// Line the directive comment sits on.
     pub line: u32,
+    /// Last line the directive covers. The lexer initializes this to
+    /// `line + 1` (the classic "directive above the statement" reach);
+    /// the parser widens it to the end of the following item when the
+    /// directive sits directly above a `fn`/`struct`/`impl`.
+    pub end_line: u32,
     /// The lint it suppresses.
     pub lint: String,
     /// The stated reason (required; empty reasons are rejected upstream).
@@ -94,12 +99,12 @@ pub struct ScannedFile {
 
 impl ScannedFile {
     /// Whether `lint` is suppressed on `line`: a directive covers its own
-    /// line and the line immediately after it (so it can sit above the
-    /// flagged statement).
+    /// line through `end_line` — one line below it by default, or the
+    /// whole following item once the parser has widened the range.
     pub fn allowed(&self, lint: &str, line: u32) -> bool {
         self.allows
             .iter()
-            .any(|a| a.lint == lint && (a.line == line || a.line + 1 == line))
+            .any(|a| a.lint == lint && a.line <= line && line <= a.end_line)
     }
 
     /// Suppressions grouped per line (used by the report's `--json` mode).
@@ -129,9 +134,79 @@ fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
     }
     Some(AllowDirective {
         line,
+        end_line: line + 1,
         lint: lint.to_owned(),
         reason: reason.to_owned(),
     })
+}
+
+/// Skips a cooked (escaped) string literal whose opening quote sits at
+/// `open`; returns the index just past the closing quote (or the end of
+/// input for an unterminated literal).
+fn skip_cooked_string(bytes: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    i.min(bytes.len())
+}
+
+/// Skips a raw string body. `at` points at the first `#` (or the opening
+/// quote, for zero hashes) after the `r`/`br` prefix. Returns the index
+/// just past the closing delimiter, or `None` if this is not actually a
+/// raw-string start (e.g. `r#raw_ident`).
+fn skip_raw_string(bytes: &[u8], at: usize) -> Option<usize> {
+    let mut j = at;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    Some(bytes.len())
+}
+
+/// Skips a char (or byte-char) literal whose opening quote sits at `open`;
+/// returns the index just past the closing quote. Handles escapes
+/// (`'\n'`, `'\u{1F600}'`) and multi-byte UTF-8 scalars (`'λ'`), which a
+/// fixed two-byte skip would leave mid-literal.
+fn skip_char_literal(bytes: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2; // backslash + escape selector
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1; // \u{...} payloads
+        }
+        return (i + 1).min(bytes.len());
+    }
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1; // multi-byte scalars span several bytes
+    }
+    (i + 1).min(bytes.len())
 }
 
 /// Scans `source`, producing the token stream and suppression directives.
@@ -194,47 +269,47 @@ pub fn scan(source: &str) -> ScannedFile {
             b'"' => {
                 // String literal: skip, honoring escapes.
                 let start = i;
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
+                i = skip_cooked_string(bytes, i);
+                line += bump_lines(&bytes[start..i]);
+            }
+            b'b' if matches!(bytes.get(i + 1), Some(&b'"')) => {
+                // Byte string b"..." — same escape rules as cooked strings.
+                let start = i;
+                i = skip_cooked_string(bytes, i + 1);
+                line += bump_lines(&bytes[start..i]);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'r')
+                && matches!(bytes.get(i + 2), Some(&b'"') | Some(&b'#')) =>
+            {
+                // Byte raw string br"..." / br#"..."#. Without this arm the
+                // `br` prefix lexes as an identifier and the body is skipped
+                // under cooked-string escape rules, so a trailing backslash
+                // inside the raw body swallows the closing quote and
+                // corrupts everything after it.
+                let start = i;
+                if let Some(end) = skip_raw_string(bytes, i + 2) {
+                    i = end;
+                    line += bump_lines(&bytes[start..i]);
+                } else {
+                    let (tok, next) = lex_ident(bytes, i);
+                    tokens.push(Token {
+                        line,
+                        kind: tok,
+                        in_test: false,
+                    });
+                    i = next;
                 }
-                line += bump_lines(&bytes[start..i.min(bytes.len())]);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                // Byte char b'x' (incl. b'\\', b'\'').
+                i = skip_char_literal(bytes, i + 1);
             }
             b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')) => {
                 // Raw string r"..." / r#"..."#.
                 let start = i;
-                let mut j = i + 1;
-                let mut hashes = 0usize;
-                while bytes.get(j) == Some(&b'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if bytes.get(j) == Some(&b'"') {
-                    j += 1;
-                    'raw: while j < bytes.len() {
-                        if bytes[j] == b'"' {
-                            let mut k = j + 1;
-                            let mut seen = 0usize;
-                            while seen < hashes && bytes.get(k) == Some(&b'#') {
-                                seen += 1;
-                                k += 1;
-                            }
-                            if seen == hashes {
-                                j = k;
-                                break 'raw;
-                            }
-                        }
-                        j += 1;
-                    }
-                    line += bump_lines(&bytes[start..j.min(bytes.len())]);
-                    i = j;
+                if let Some(end) = skip_raw_string(bytes, i + 1) {
+                    i = end;
+                    line += bump_lines(&bytes[start..i]);
                 } else {
                     // Just an identifier starting with `r` (e.g. `r#raw_id`
                     // fell through) — lex as an identifier below.
@@ -249,25 +324,19 @@ pub fn scan(source: &str) -> ScannedFile {
             }
             b'\'' => {
                 // Char literal vs lifetime. A char literal closes with a
-                // quote shortly after; a lifetime is `'` + ident with no
-                // closing quote.
+                // quote shortly after; a lifetime is `'` + ASCII ident with
+                // no closing quote. Non-ASCII after the quote is always a
+                // char literal ('λ'): lifetimes are ASCII-only, and the old
+                // two-byte skip would strand the scanner mid-scalar.
                 let next = bytes.get(i + 1).copied();
                 let is_char = match next {
                     Some(b'\\') => true,
+                    Some(c) if c >= 0x80 => true,
                     Some(c) if c != b'\'' => bytes.get(i + 2) == Some(&b'\''),
                     _ => true,
                 };
                 if is_char {
-                    i += 1;
-                    if bytes.get(i) == Some(&b'\\') {
-                        i += 2; // escape + escaped char
-                        while i < bytes.len() && bytes[i] != b'\'' {
-                            i += 1; // \u{...} forms
-                        }
-                        i += 1;
-                    } else {
-                        i += 2; // char + closing quote
-                    }
+                    i = skip_char_literal(bytes, i);
                 } else {
                     let start = i + 1;
                     let mut j = start;
@@ -551,6 +620,66 @@ mod tests {
             .find(|t| t.kind.is_ident("target"))
             .map(|t| t.line);
         assert_eq!(target, Some(4));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_are_stripped() {
+        // `br#"..."#` bodies follow raw rules: a trailing backslash must
+        // not swallow the closing quote (regression: the `br` prefix used
+        // to lex as an identifier and the body as a cooked string).
+        let src = r##"let a = br#"HashMap \"#; let marker = 1;"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"marker".to_owned()));
+        assert!(!ids.contains(&"HashMap".to_owned()));
+        // Plain byte strings and byte chars are stripped too.
+        let ids = idents("let a = b\"Instant\"; let b_char = b'x'; let tail = 2;");
+        assert!(ids.contains(&"tail".to_owned()));
+        assert!(!ids.contains(&"Instant".to_owned()));
+        // A raw string whose body contains a quote+fewer-hashes candidate
+        // ends only at the real delimiter.
+        let src = "let a = r##\"end\"# not yet\"##; let after = 3;";
+        assert!(idents(src).contains(&"after".to_owned()));
+    }
+
+    #[test]
+    fn multibyte_char_literals_are_not_lifetimes() {
+        // Regression: 'λ' used to classify as a lifetime and leave the
+        // scanner mid-scalar, corrupting the rest of the stream.
+        let src = "let c = 'λ'; let real = marker;";
+        let scanned = scan(src);
+        assert!(scanned
+            .tokens
+            .iter()
+            .all(|t| !matches!(t.kind, TokenKind::Lifetime(_))));
+        assert!(idents(src).contains(&"marker".to_owned()));
+        // Escaped forms still close correctly.
+        for src in [
+            "let c = '\\u{1F600}'; let ok = 1;",
+            "let c = '\\''; let ok = 1;",
+        ] {
+            assert!(idents(src).contains(&"ok".to_owned()), "{src}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let src = "/* outer /* inner */ still comment */ let marker = 1;\nlet next = 2;";
+        let ids = idents(src);
+        assert!(ids.contains(&"marker".to_owned()));
+        assert!(!ids.contains(&"outer".to_owned()));
+        assert!(!ids.contains(&"inner".to_owned()));
+        // Line numbers survive multi-line nested comments, and a directive
+        // inside one still parses.
+        let src = "/* a\n/* b\n*/\ndcb-audit: allow(float-cmp, nested reason)\n*/\nlet target = 1;";
+        let scanned = scan(src);
+        let target = scanned
+            .tokens
+            .iter()
+            .find(|t| t.kind.is_ident("target"))
+            .map(|t| t.line);
+        assert_eq!(target, Some(6));
+        assert_eq!(scanned.allows.len(), 1);
+        assert_eq!(scanned.allows[0].lint, "float-cmp");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `dcb-audit`: the workspace invariant analyzer.
 //!
-//! Two layers keep the reproduction honest:
+//! Three layers keep the reproduction honest:
 //!
 //! 1. **Static lints** ([`lints`]): a hand-rolled token scanner
 //!    ([`lexer`]) walks every workspace source file ([`walk`]) and
@@ -10,19 +10,30 @@
 //!    wall-clock reads, or ad-hoc threads in result paths
 //!    (`hash-container`, `time-source`, `thread-spawn`), and no panicking
 //!    shortcuts in library code (`panic-site`). Intentional sites carry an
-//!    inline `// dcb-audit: allow(<lint>, reason)` directive.
-//! 2. **Dynamic contracts** ([`sweep`]): the `dcb-units` `contract!`
+//!    inline `// dcb-audit: allow(<lint>, reason)` directive; a directive
+//!    directly above an item covers its whole body ([`parse`]).
+//! 2. **Semantic passes** ([`graph`]): a token-tree parser ([`parse`])
+//!    recovers item structure, a workspace symbol table ([`symbols`])
+//!    and call graph ([`callgraph`]) link every crate, and two
+//!    interprocedural passes chase what per-line lints cannot see:
+//!    [`taint`] follows nondeterminism from source fns to determinism
+//!    sinks (digests, snapshots, trace encoders) with full witness
+//!    paths, and [`unitflow`] follows physical dimensions into raw-`f64`
+//!    laundering boundaries. Findings ratchet through a committed
+//!    [`baseline`] (`audit.baseline.json`) — only *new* findings fail.
+//! 3. **Dynamic contracts** ([`sweep`]): the `dcb-units` `contract!`
 //!    invariants through the battery, power, availability, and cost models
 //!    are force-enabled and the paper's Table 3 / Figure 5–6 evaluation
 //!    surface is replayed under them.
 //!
-//! A third, smaller layer keeps the *prose* honest: [`docs`] verifies
+//! A fourth, smaller layer keeps the *prose* honest: [`docs`] verifies
 //! the top-level markdown cross-references — relative file links and
 //! `DESIGN.md §N` section pointers — against what actually exists.
 //!
 //! The `dcb-audit` binary fronts all of it: `check` (exit 1 on findings),
-//! `lints` (print the rule matrix), `sweep` (exit 1 on violations),
-//! `docs` (exit 1 on broken references).
+//! `graph` (exit 1 on new findings vs the baseline), `lints` (print the
+//! rule matrix), `sweep` (exit 1 on violations), `docs` (exit 1 on
+//! broken references).
 //!
 //! The analyzer holds itself to its own rules: no panicking paths (errors
 //! are data), `BTreeMap`/`Vec` only, no wall-clock reads.
@@ -30,11 +41,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod docs;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
 pub mod report;
 pub mod sweep;
+pub mod symbols;
+pub mod taint;
+pub mod unitflow;
 pub mod walk;
 
 use report::Finding;
@@ -92,10 +110,13 @@ pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, AuditError> {
 }
 
 /// Checks one already-loaded source file (the self-test fixtures go
-/// through this entry point).
+/// through this entry point). Allow directives that sit directly above an
+/// item are widened to cover the whole item before the lints run.
 #[must_use]
 pub fn check_source(file: &walk::SourceFile, source: &str) -> Vec<Finding> {
-    let scanned = lexer::scan(source);
+    let mut scanned = lexer::scan(source);
+    let parsed = parse::parse(&scanned.tokens);
+    parse::expand_allows(&parsed, &mut scanned.allows);
     lints::check_file(file, &scanned)
 }
 

@@ -17,6 +17,35 @@ pub struct Finding {
     pub message: String,
 }
 
+/// One hop of call-path evidence attached to a graph finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// Workspace-relative path of the step's file.
+    pub file: String,
+    /// 1-based line number of the step.
+    pub line: u32,
+    /// What happens at this step (sink, call hop, or source).
+    pub detail: String,
+}
+
+/// One finding from an interprocedural pass (`determinism-taint` or
+/// `unit-flow`), with its full call-path evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphFinding {
+    /// Pass identifier (`determinism-taint`, `unit-flow`).
+    pub pass: &'static str,
+    /// Stable, line-number-free identity used by the baseline ratchet.
+    pub key: String,
+    /// Workspace-relative path of the primary site.
+    pub file: String,
+    /// 1-based line of the primary site.
+    pub line: u32,
+    /// What was found and why it is suspect.
+    pub message: String,
+    /// Source→sink (or boundary→origin) call path, primary site first.
+    pub path: Vec<PathStep>,
+}
+
 /// Renders findings as one-per-line text, `path:line: [lint] message`.
 #[must_use]
 pub fn render_text(findings: &[Finding]) -> String {
@@ -65,7 +94,7 @@ pub fn render_json(findings: &[Finding]) -> String {
 }
 
 /// Escapes a string for JSON embedding.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

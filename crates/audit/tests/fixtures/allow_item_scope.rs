@@ -1,0 +1,20 @@
+//! Fixture for item-granularity allow scoping: one directive above the fn
+//! covers the named lint through the whole body (the `HashMap` uses sit
+//! several lines below the directive), while other lints inside the same
+//! body still fire (the `Instant::now` read is NOT covered).
+
+// dcb-audit: allow(hash-container, fixture exercises item-wide suppression)
+pub fn tally(labels: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: std::collections::HashMap<String, usize> = Default::default();
+    for label in labels {
+        *counts.entry((*label).to_owned()).or_insert(0) += 1;
+    }
+    let started = std::time::Instant::now();
+    let _ = started;
+    counts.into_iter().collect()
+}
+
+pub fn outside() {
+    // Below the allowed item: the directive must NOT reach here.
+    let _uncovered: Option<std::collections::HashMap<u8, u8>> = None;
+}

@@ -1,0 +1,11 @@
+//! Graph-pass fixture: stand-in determinism sinks. Loaded by
+//! `graphtest.rs` as crate `fleet` so the taint pass recognizes
+//! `Scenario::digest` as a sink definition.
+
+pub struct Scenario;
+
+impl Scenario {
+    pub fn digest(&self) -> u128 {
+        0
+    }
+}

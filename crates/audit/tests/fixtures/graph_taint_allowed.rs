@@ -1,0 +1,14 @@
+//! Graph-pass fixture: a taint chain whose source fn carries an
+//! item-scoped allow directive — the whole chain is suppressed.
+
+use std::collections::HashMap;
+
+// dcb-audit: allow(determinism-taint, values feed an order-free max reduction)
+pub fn order(m: &HashMap<u32, f64>) -> Vec<f64> {
+    m.values().copied().collect()
+}
+
+pub fn seal(s: &Scenario, m: &HashMap<u32, f64>) -> u128 {
+    let _v = order(m);
+    s.digest()
+}

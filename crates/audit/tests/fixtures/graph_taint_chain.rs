@@ -1,0 +1,18 @@
+//! Graph-pass fixture: a positive determinism-taint chain. `order`
+//! observes HashMap iteration order, `summarize` launders it through a
+//! hop, and `seal` feeds the result into `Scenario::digest`.
+
+use std::collections::HashMap;
+
+pub fn order(m: &HashMap<u32, f64>) -> Vec<f64> {
+    m.values().copied().collect()
+}
+
+pub fn summarize(m: &HashMap<u32, f64>) -> f64 {
+    order(m).first().copied().unwrap_or(0.0)
+}
+
+pub fn seal(s: &Scenario, m: &HashMap<u32, f64>) -> u128 {
+    let _first = summarize(m);
+    s.digest()
+}

@@ -1,0 +1,16 @@
+//! Graph-pass fixture: the same chain as `graph_taint_chain.rs`, but the
+//! iteration is funneled through a sort — the sanitizer breaks the chain
+//! and no finding is reported.
+
+use std::collections::HashMap;
+
+pub fn order(m: &HashMap<u32, f64>) -> Vec<f64> {
+    let mut v: Vec<f64> = m.values().copied().collect();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+pub fn seal(s: &Scenario, m: &HashMap<u32, f64>) -> u128 {
+    let _v = order(m);
+    s.digest()
+}

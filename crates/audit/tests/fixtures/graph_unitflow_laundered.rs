@@ -1,0 +1,24 @@
+//! Graph-pass fixture: a laundered raw-f64 boundary. `residual` strips a
+//! `Watts` quantity at the `scale` call, and `scale` forwards it into
+//! `deep` — both boundaries are findings, with `Minutes::new(raw(...))`
+//! adding a return-wrap finding.
+
+pub fn deep(y: f64) -> f64 {
+    y
+}
+
+pub fn scale(x: f64, factor: f64) -> f64 {
+    deep(x) * factor
+}
+
+pub fn residual(load: Watts) -> f64 {
+    scale(load.value(), 2.0)
+}
+
+pub fn runtime_raw(soc: f64) -> f64 {
+    soc * 60.0
+}
+
+pub fn runtime(soc: f64) -> Minutes {
+    Minutes::new(runtime_raw(soc))
+}

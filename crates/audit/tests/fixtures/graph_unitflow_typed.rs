@@ -1,0 +1,14 @@
+//! Graph-pass fixture: properly-typed boundaries. Quantities cross every
+//! call as newtypes, so the unit-flow pass reports nothing.
+
+pub fn deep(y: Watts) -> Watts {
+    y
+}
+
+pub fn scale(x: Watts, factor: Fraction) -> Watts {
+    deep(x) * factor.value()
+}
+
+pub fn residual(load: Watts) -> Watts {
+    scale(load, Fraction::new(0.5))
+}

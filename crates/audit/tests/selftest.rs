@@ -155,6 +155,17 @@ fn allow_directive_suppresses_every_class() {
 }
 
 #[test]
+fn allow_above_an_item_covers_its_whole_body() {
+    // One directive above `tally` suppresses hash-container through the
+    // whole fn — but not other lints in the same body, and not mentions
+    // in the next item.
+    let found = audit_fixture("allow_item_scope.rs");
+    assert_eq!(count(&found, "hash-container"), 1, "found {found:?}");
+    assert_eq!(count(&found, "time-source"), 1, "found {found:?}");
+    assert_eq!(found.len(), 2, "found {found:?}");
+}
+
+#[test]
 fn clean_code_stays_clean() {
     assert_eq!(audit_fixture("clean.rs"), Vec::<&str>::new());
 }

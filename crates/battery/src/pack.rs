@@ -1,7 +1,7 @@
 //! Battery pack specifications and the Peukert runtime law.
 
 use crate::Chemistry;
-use dcb_units::{contract, Seconds, WattHours, Watts};
+use dcb_units::{contract, Fraction, Seconds, WattHours, Watts};
 
 /// The static specification of a battery pack: rated power, runtime at rated
 /// power, and chemistry.
@@ -215,11 +215,12 @@ impl PackSpec {
     #[must_use]
     pub fn depletion_time_over_ramp(
         self,
-        charge: f64,
+        charge: Fraction,
         start_load: Watts,
         end_load: Watts,
         duration: Seconds,
     ) -> Option<Seconds> {
+        let charge = charge.value();
         let d = duration.value();
         if d <= 0.0 {
             return None;
@@ -381,7 +382,7 @@ mod tests {
             .charge_used_over_ramp(Watts::new(1.0), Watts::new(2.0), d)
             .is_infinite());
         assert_eq!(
-            dead.depletion_time_over_ramp(1.0, Watts::new(1.0), Watts::new(2.0), d),
+            dead.depletion_time_over_ramp(Fraction::new(1.0), Watts::new(1.0), Watts::new(2.0), d),
             Some(Seconds::ZERO)
         );
         assert_eq!(dead.charge_used_over_ramp(Watts::ZERO, Watts::ZERO, d), 0.0);
@@ -394,12 +395,12 @@ mod tests {
         // Full charge at rated load depletes exactly at rated runtime; ask
         // over a longer window and the solver should pinpoint it.
         let tau = pack
-            .depletion_time_over_ramp(1.0, load, load, Seconds::from_hours(1.0))
+            .depletion_time_over_ramp(Fraction::new(1.0), load, load, Seconds::from_hours(1.0))
             .expect("must deplete within the hour");
         assert!((tau.to_minutes() - 10.0).abs() < 1e-9);
         // Exactly at the boundary counts as surviving.
         assert!(pack
-            .depletion_time_over_ramp(1.0, load, load, pack.runtime_at(load))
+            .depletion_time_over_ramp(Fraction::new(1.0), load, load, pack.runtime_at(load))
             .is_none());
     }
 
@@ -441,7 +442,7 @@ mod tests {
             let total = pack.charge_used_over_ramp(p0, p1, d);
             let c = frac * total.min(1.0);
             prop_assume!(c < total);
-            let tau = pack.depletion_time_over_ramp(c, p0, p1, d)
+            let tau = pack.depletion_time_over_ramp(Fraction::new(c), p0, p1, d)
                 .expect("charge below total use must deplete");
             let s = (p1.value() - p0.value()) / d.value();
             let p_tau = Watts::new(p0.value() + s * tau.value());

@@ -274,7 +274,7 @@ impl Battery {
         };
         match self
             .spec
-            .depletion_time_over_ramp(self.charge.value(), p0, p1, interval)
+            .depletion_time_over_ramp(self.charge, p0, p1, interval)
         {
             None => {
                 let used = self.spec.charge_used_over_ramp(p0, p1, interval);

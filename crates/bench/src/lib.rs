@@ -71,6 +71,7 @@ pub fn extra_exhibits() -> Vec<Exhibit> {
 
 /// Renders a horizontal bar of `value` relative to `max` (for quick ASCII
 /// chart reading).
+// dcb-audit: allow(unit-flow, chart rendering is unitless by design; only the value/max ratio matters)
 #[must_use]
 pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 || value <= 0.0 {

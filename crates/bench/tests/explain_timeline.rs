@@ -52,8 +52,7 @@ fn explain_tally_matches_the_kernel_for_every_table3_point() {
                     .iter()
                     .filter(|segment| segment.in_downtime)
                     .map(|segment| {
-                        dcb_trace::micros(segment.end.value())
-                            - dcb_trace::micros(segment.start.value())
+                        dcb_trace::micros(segment.end) - dcb_trace::micros(segment.start)
                     })
                     .sum();
                 assert_eq!(explained.tally.downtime_us, micros_sum, "downtime: {label}");

@@ -85,7 +85,7 @@ pub fn evaluate(
         dcb_telemetry::counter!("core.evaluate.infeasible").incr();
     }
     if dcb_trace::enabled() {
-        dcb_trace::instant(Some(dcb_trace::micros(duration.value())), None, || {
+        dcb_trace::instant(Some(dcb_trace::micros(duration)), None, || {
             dcb_trace::EventKind::Evaluate {
                 config: config.label().to_owned(),
                 technique: technique.name().to_owned(),

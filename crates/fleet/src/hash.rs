@@ -51,6 +51,7 @@ impl StableHasher {
 
     /// Absorbs a float via its IEEE-754 bit pattern (so `-0.0` and `0.0`
     /// hash differently, and `NaN` payloads are respected).
+    // dcb-audit: allow(unit-flow, the hash substrate absorbs raw bits; dimensions are erased on purpose)
     pub fn write_f64(&mut self, value: f64) {
         self.write_bytes(&value.to_bits().to_le_bytes());
     }

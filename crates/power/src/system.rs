@@ -332,7 +332,7 @@ impl BackupSystem {
             }
             let pack = ups.pack();
             match pack.depletion_time_over_ramp(
-                charge,
+                Fraction::new(charge),
                 ph.residual_start,
                 ph.residual_end,
                 ph.duration(),

@@ -208,7 +208,7 @@ impl Ups {
         duration: Seconds,
     ) -> Option<Seconds> {
         self.battery.spec().depletion_time_over_ramp(
-            self.battery.charge().value(),
+            self.battery.charge(),
             start_load,
             end_load,
             duration,

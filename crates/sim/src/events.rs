@@ -54,7 +54,7 @@ pub(crate) fn first_true(
             dcb_telemetry::counter!("sim.events.bisection_iters").add(iters);
             dcb_telemetry::histogram!("sim.events.bisection_iters_per_search").observe(iters);
             if dcb_trace::enabled() {
-                dcb_trace::instant(Some(dcb_trace::micros(tr.value())), None, || {
+                dcb_trace::instant(Some(dcb_trace::micros(tr)), None, || {
                     dcb_trace::EventKind::ShortfallRoot { bisections: iters }
                 });
             }

@@ -102,7 +102,7 @@ impl OutageSim {
             let root = dcb_trace::instant(Some(0), None, || dcb_trace::EventKind::OutageStart {
                 config: self.config().label().to_owned(),
                 technique: self.technique().name().to_owned(),
-                outage_us: dcb_trace::micros(outage.value()),
+                outage_us: dcb_trace::micros(outage),
             });
             if let Some(dg) = backup.dg() {
                 let mut milestones = vec![
@@ -114,7 +114,7 @@ impl OutageSim {
                 }
                 for (phase, at) in milestones {
                     if at <= outage {
-                        dcb_trace::instant(Some(dcb_trace::micros(at.value())), root, || {
+                        dcb_trace::instant(Some(dcb_trace::micros(at)), root, || {
                             dcb_trace::EventKind::DgRampPhase {
                                 phase: phase.to_owned(),
                             }
@@ -157,7 +157,7 @@ impl OutageSim {
             if let Some(from) = before {
                 let to = st.mode.name();
                 if to != from {
-                    dcb_trace::instant(Some(dcb_trace::micros(t.value())), t_root, || {
+                    dcb_trace::instant(Some(dcb_trace::micros(t)), t_root, || {
                         dcb_trace::EventKind::TechniqueTransition {
                             from: from.to_owned(),
                             to: to.to_owned(),
@@ -287,8 +287,8 @@ impl OutageSim {
                     ended_by,
                 });
                 if dcb_trace::enabled() {
-                    let start_us = dcb_trace::micros(t.value());
-                    let end_us = dcb_trace::micros(end.value());
+                    let start_us = dcb_trace::micros(t);
+                    let end_us = dcb_trace::micros(end);
                     dcb_trace::complete(start_us, end_us.saturating_sub(start_us), t_root, || {
                         dcb_trace::EventKind::SegmentCommit {
                             end_cause: ended_by.as_str().to_owned(),
@@ -370,7 +370,7 @@ impl OutageSim {
             if let Some(from) = before {
                 let to = st.mode.name();
                 if to != from {
-                    dcb_trace::instant(Some(dcb_trace::micros(t.value())), t_root, || {
+                    dcb_trace::instant(Some(dcb_trace::micros(t)), t_root, || {
                         dcb_trace::EventKind::TechniqueTransition {
                             from: from.to_owned(),
                             to: to.to_owned(),

@@ -587,7 +587,7 @@ impl Stitcher<'_> {
         if self.record {
             self.events.push((
                 plan.node.level.index(),
-                dcb_trace::micros(self.outage.value()),
+                dcb_trace::micros(self.outage),
                 EventKind::TopoResolve {
                     level: plan.node.level.name().to_owned(),
                     name: plan.node.name.clone(),

@@ -254,8 +254,8 @@ pub fn complete(
 /// Converts simulated seconds to the recorder's microsecond timestamps
 /// (round-to-nearest; saturates at zero for negative inputs).
 #[must_use]
-pub fn micros(seconds: f64) -> u64 {
-    let us = (seconds * 1e6).round();
+pub fn micros(seconds: dcb_units::Seconds) -> u64 {
+    let us = (seconds.value() * 1e6).round();
     if us.is_finite() && us > 0.0 {
         us as u64
     } else {
@@ -387,9 +387,10 @@ mod tests {
 
     #[test]
     fn micros_rounds_and_saturates() {
-        assert_eq!(micros(0.0), 0);
-        assert_eq!(micros(-1.0), 0);
-        assert_eq!(micros(1.5e-6), 2);
-        assert_eq!(micros(25.0), 25_000_000);
+        let s = dcb_units::Seconds::new;
+        assert_eq!(micros(s(0.0)), 0);
+        assert_eq!(micros(s(-1.0)), 0);
+        assert_eq!(micros(s(1.5e-6)), 2);
+        assert_eq!(micros(s(25.0)), 25_000_000);
     }
 }
