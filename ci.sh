@@ -28,12 +28,22 @@ cargo test -q --release -p dcb-topology --test differential
 echo "== topology aggregation proptests (explicit == collapsed, thread-invariant)"
 cargo test -q --release -p dcb-topology --test aggregation
 
+echo "== dcb-engine core (calendar/clock/locate units + determinism proptests)"
+cargo test -q -p dcb-engine
+
+echo "== componentized kernel differential (engine vs legacy oracle, bit for bit, 120s budget)"
+comp_start=$(date +%s)
+cargo test -q --release -p dcb-sim --test componentized
+comp_end=$(date +%s)
+comp_elapsed=$((comp_end - comp_start))
+test "$comp_elapsed" -le 120 || { echo "componentized differential took ${comp_elapsed}s (> 120s budget)"; exit 1; }
+
 echo "== engine bench smoke (event kernel vs stepped oracle)"
 DCB_ENGINE_BENCH_SMOKE=1 cargo bench -q -p dcb-bench --bench engine
 
-echo "== engine bench history floor (newest engine entry >= 5x)"
-min=$(grep '"bench": "engine"' BENCH_history.jsonl | tail -n 1 | sed -n 's/.*"min_speedup": \([0-9.eE+-]*\).*/\1/p')
-test -n "$min" || { echo "no min_speedup in newest engine BENCH_history.jsonl entry"; exit 1; }
+echo "== engine bench history floor (newest engine-v2 entry >= 5x)"
+min=$(grep '"bench": "engine"' BENCH_history.jsonl | grep '"tag": "engine-v2"' | tail -n 1 | sed -n 's/.*"min_speedup": \([0-9.eE+-]*\).*/\1/p')
+test -n "$min" || { echo "no engine-v2-tagged min_speedup in BENCH_history.jsonl"; exit 1; }
 awk -v m="$min" 'BEGIN { if (m + 0 < 5.0) { print "engine bench history floor violated: " m "x < 5x"; exit 1 } }'
 
 echo "== topology bench smoke (aggregated vs flat resolution)"
@@ -55,6 +65,9 @@ cargo test -q -p dcb-audit --test selftest telemetry
 
 echo "== dcb-audit trace read-fence self-test (lint fixture)"
 cargo test -q -p dcb-audit --test selftest trace
+
+echo "== dcb-audit kernel-internals fence self-test (lint fixture)"
+cargo test -q -p dcb-audit kernel_internals
 
 echo "== trace determinism (Chrome export byte-identical across DCB_THREADS)"
 cargo test -q --release -p dcb-bench --test trace_chrome

@@ -78,6 +78,14 @@ pub fn all() -> Vec<LintSpec> {
             check: stepped_sim,
         },
         LintSpec {
+            name: "kernel-internals",
+            summary: "sim-kernel-private machinery (RunState, KernelWorld, the legacy oracle entry points) outside crates/sim; model crates consume the facade (run/run_trajectory) only (tests and benches are exempt by role)",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &["sim"],
+            skip_in_test: true,
+            check: kernel_internals,
+        },
+        LintSpec {
             name: "telemetry-in-result",
             summary: "reading telemetry values (Snapshot, dcb_telemetry::snapshot/report) inside model code lets observability feed back into results; only report edges (bench) may read",
             roles: &[Role::Library, Role::Binary],
@@ -339,6 +347,27 @@ fn stepped_sim(tokens: &[Token]) -> Vec<(u32, String)> {
         .collect()
 }
 
+/// `kernel-internals`: sim-kernel-private machinery — the `RunState`
+/// accumulator, the componentized `KernelWorld`/`StepWorld` worlds, or
+/// the legacy bit-identity oracle (`*_trajectory_legacy`) — referenced
+/// outside the sim crate.
+fn kernel_internals(tokens: &[Token]) -> Vec<(u32, String)> {
+    tokens
+        .iter()
+        .filter_map(|t| {
+            let name = t.kind.ident()?;
+            let fenced = matches!(name, "RunState" | "KernelWorld" | "StepWorld")
+                || name.ends_with("_trajectory_legacy");
+            fenced.then(|| {
+                (
+                    t.line,
+                    format!("`{name}` is sim-kernel-internal; model crates consume the `OutageSim` facade (`run`/`run_trajectory`)"),
+                )
+            })
+        })
+        .collect()
+}
+
 /// `telemetry-in-result`: reads of telemetry state — the `Snapshot` type,
 /// or `dcb_telemetry::snapshot`/`report`/`report_with` — in model code.
 /// Recording (counter!/histogram!/span) is always fine; *reading* values
@@ -501,6 +530,23 @@ mod tests {
         let mut f = lib_file();
         f.role = Role::Bench;
         assert!(check_file(&f, &scan("fn f() { sim.run_stepped(d); }")).is_empty());
+    }
+
+    #[test]
+    fn kernel_internals_are_fenced() {
+        assert_eq!(check("fn f(st: &RunState) {}").len(), 1);
+        assert_eq!(check("fn f(w: &mut KernelWorld) {}").len(), 1);
+        assert_eq!(check("fn f() { sim.run_trajectory_legacy(d); }").len(), 1);
+        assert_eq!(
+            check("fn f() { sim.run_with_backup_trajectory_legacy(d, &mut b); }").len(),
+            1
+        );
+        // The facade is what model crates should consume.
+        assert!(check("fn f() { let t = sim.run_trajectory(d); }").is_empty());
+        // Inside crates/sim the machinery is at home.
+        let mut f = lib_file();
+        f.crate_name = "sim".to_owned();
+        assert!(check_file(&f, &scan("fn f(st: &RunState) {}")).is_empty());
     }
 
     #[test]

@@ -148,6 +148,12 @@ fn sink_kind(f: &FnDef) -> Option<&'static str> {
             Some("telemetry-snapshot")
         }
         "trace" if matches!(n, "encode" | "export" | "render" | "tally") => Some("trace-encode"),
+        // The engine's calendar orders the whole simulation: tainted data
+        // in a posted time, class, or token reorders events across runs.
+        "engine" if matches!(n, "post" | "wake_at") => Some("engine-calendar"),
+        // The root-finder's sample grid is a pure function of its inputs;
+        // tainted bounds or predicates move the located root.
+        "engine" if n == "first_true" => Some("engine-locate"),
         _ => None,
     }
 }
@@ -456,6 +462,27 @@ mod tests {
         assert_eq!(f.path.len(), 3, "path: {:?}", f.path);
         assert!(f.path[0].detail.contains("sink"));
         assert!(f.path[2].detail.contains("source: hash-iteration"));
+    }
+
+    #[test]
+    fn wall_clock_reaching_the_engine_locate_sink_is_reported() {
+        let findings = analyze(vec![
+            file(
+                "crates/engine/src/locate.rs",
+                "engine",
+                "pub fn first_true(lo: f64, hi: f64) -> f64 { lo }",
+            ),
+            file(
+                "crates/power/src/lib.rs",
+                "power",
+                "pub fn stamp() -> f64 { let _t = Instant::now(); 0.0 }\n\
+                 pub fn locate(hi: f64) -> f64 { first_true(stamp(), hi) }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "findings: {findings:?}");
+        let f = &findings[0];
+        assert!(f.key.contains("engine-locate"), "key: {}", f.key);
+        assert!(f.key.contains("wall-clock"), "key: {}", f.key);
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub fn dim_of_type(ty: &str) -> Option<Dim> {
     Some(match last {
         "Watts" | "Kilowatts" | "Megawatts" => Dim::Power,
         "WattHours" | "KilowattHours" | "MegawattHours" => Dim::Energy,
-        "Seconds" | "Minutes" | "Hours" | "Years" => Dim::Time,
+        "Seconds" | "Minutes" | "Hours" | "Years" | "EventTime" => Dim::Time,
         "AmpHours" | "Coulombs" => Dim::Charge,
         "Dollars" | "DollarsPerYear" | "DollarsPerKwYear" | "DollarsPerKwhYear"
         | "DollarsPerKwMin" => Dim::Money,
@@ -482,6 +482,18 @@ mod tests {
             keys.contains(&"unit-flow:power::deep:y:power"),
             "keys: {keys:?}"
         );
+    }
+
+    #[test]
+    fn event_time_params_carry_the_time_dimension() {
+        let findings = analyze(vec![file(
+            "crates/engine/src/calendar.rs",
+            "engine",
+            "pub fn offset(at: f64) -> f64 { at }\n\
+             pub fn window(hi: EventTime) -> f64 { offset(hi) }",
+        )]);
+        assert_eq!(findings.len(), 1, "findings: {findings:?}");
+        assert_eq!(findings[0].key, "unit-flow:engine::offset:at:time");
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Graph-pass fixture: stand-in engine sinks. Loaded by `graphtest.rs`
+//! as crate `engine` so the taint pass recognizes `Calendar::post` as a
+//! determinism sink (tainted data in a posted event reorders the whole
+//! simulation).
+
+pub struct Calendar;
+
+impl Calendar {
+    pub fn post(&mut self, time: f64, class: u8, token: u64) {
+        let _ = (time, class, token);
+    }
+}

@@ -1,0 +1,13 @@
+//! Graph-pass fixture: hash-iteration taint reaching the engine's event
+//! calendar. The wakeup time is reduced from unordered `HashMap` values,
+//! then posted — the calendar's ordering now depends on iteration order.
+
+use std::collections::HashMap;
+
+pub fn next_wakeup(pending: &HashMap<u32, f64>) -> f64 {
+    pending.values().copied().fold(0.0, f64::max)
+}
+
+pub fn schedule(cal: &mut Calendar, pending: &HashMap<u32, f64>) {
+    cal.post(next_wakeup(pending), 0, 0);
+}

@@ -1,0 +1,12 @@
+//! Fixture: model code reaching into the sim kernel's private machinery
+//! instead of the `OutageSim` facade (3 expected `kernel-internals`
+//! findings: the `RunState` accumulator, the componentized `KernelWorld`,
+//! and a legacy oracle entry point).
+
+pub fn inspect(st: &RunState, world: &KernelWorld) -> bool {
+    st.state_lost || world.segments.is_empty()
+}
+
+pub fn rerun(sim: &OutageSim, outage: Seconds) -> Trajectory {
+    sim.run_trajectory_legacy(outage)
+}

@@ -72,6 +72,29 @@ fn taint_chain_is_detected_with_a_complete_path() {
 }
 
 #[test]
+fn engine_calendar_sink_is_detected() {
+    let report = graph::analyze_sources(vec![
+        load("graph_engine_sinks.rs", "engine"),
+        load("graph_taint_engine.rs", "power"),
+    ]);
+    assert_eq!(report.findings.len(), 1, "findings: {:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.pass, "determinism-taint");
+    assert_eq!(
+        f.key,
+        "determinism-taint:engine::Calendar::post:engine-calendar:hash-iteration:power::next_wakeup"
+    );
+    assert!(f.path[0].detail.contains("sink"), "path: {:?}", f.path);
+    assert!(
+        f.path
+            .last()
+            .is_some_and(|s| s.detail.contains("source: hash-iteration")),
+        "path: {:?}",
+        f.path
+    );
+}
+
+#[test]
 fn sorted_chain_is_sanitized() {
     let report = analyze_with_sinks("graph_taint_sorted.rs");
     assert!(

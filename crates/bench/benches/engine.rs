@@ -19,6 +19,11 @@ use std::hint::black_box;
 use std::path::Path;
 use std::time::Instant;
 
+/// Implementation generation stamped into every report and history line.
+/// `engine-v2` is the componentized `dcb-engine` kernel; entries without a
+/// tag predate the extraction and ran the monolithic event loop.
+const BENCH_TAG: &str = "engine-v2";
+
 /// One (simulator, outage duration) pair to run both ways.
 struct Scenario {
     sim: OutageSim,
@@ -135,6 +140,7 @@ fn render_json(
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine\",\n");
+    out.push_str(&format!("  \"tag\": \"{BENCH_TAG}\",\n"));
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -169,7 +175,7 @@ fn render_history_line(mode: &str, measurements: &[Measurement], min_speedup: f6
         .map(|m| format!("{{\"name\": \"{}\", \"speedup\": {}}}", m.name, m.speedup()))
         .collect();
     format!(
-        "{{\"bench\": \"engine\", \"unix_s\": {unix_s}, \"mode\": \"{mode}\", \"min_speedup\": {min_speedup}, \"workloads\": [{}]}}\n",
+        "{{\"bench\": \"engine\", \"tag\": \"{BENCH_TAG}\", \"unix_s\": {unix_s}, \"mode\": \"{mode}\", \"min_speedup\": {min_speedup}, \"workloads\": [{}]}}\n",
         workloads.join(", ")
     )
 }

@@ -39,8 +39,14 @@ fn json_snapshot_is_byte_identical_across_threads_and_runs() {
         "no derived segments-per-outage mean:\n{text}"
     );
     assert!(
-        text.contains("\"sim.events.bisection_iters_per_search_mean\""),
+        text.contains("\"engine.locate.bisection_iters_per_search_mean\""),
         "no derived bisections-per-search mean:\n{text}"
+    );
+    // The engine core's own run accounting reaches the snapshot too.
+    assert!(text.contains("\"engine.runs\""), "no engine runs:\n{text}");
+    assert!(
+        text.contains("\"engine.fired.technique-controller\""),
+        "no per-component fired counters:\n{text}"
     );
     assert!(
         text.contains("\"sim.kernel.segments\""),

@@ -1,0 +1,97 @@
+//! Engine-managed clocks.
+//!
+//! A component never schedules its own recurring time base; it registers a
+//! clock and the engine posts the ticks. Two species cover the stack:
+//!
+//! * [`ClockSpec::Horizon`] fires once, exactly at the engine's horizon —
+//!   the "utility power returned" event that bounds every run and, as the
+//!   always-present hard event, anchors the planning window each cycle.
+//! * [`ClockSpec::Every`] fires at `k·dt` for `k = 0, 1, 2, …` strictly
+//!   before the horizon — the timed-tick base a fixed-step component
+//!   (like the differential stepper oracle) runs on. Tick times are
+//!   computed as the *product* `dt × k`, not accumulated, so the tick
+//!   grid is independent of how many cycles the engine has run.
+//!
+//! Event-driven wakeups (the third timing idiom) are not clocks: a
+//! component asks for one with `Ctx::wake_at` and it fires once.
+
+use crate::time::EventTime;
+use dcb_units::{contract, Seconds};
+
+/// What cadence a clock ticks at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockSpec {
+    /// One tick, exactly at the engine horizon.
+    Horizon,
+    /// Ticks at `0, dt, 2·dt, …`, strictly before the horizon.
+    Every(Seconds),
+}
+
+/// Internal clock state: the spec plus how many ticks have fired.
+#[derive(Debug)]
+pub(crate) struct Clock {
+    pub(crate) spec: ClockSpec,
+    ticks: u64,
+}
+
+impl Clock {
+    pub(crate) fn new(spec: ClockSpec) -> Self {
+        if let ClockSpec::Every(dt) = spec {
+            contract!(
+                dt.is_finite() && dt.value() > 0.0,
+                "timed clock period must be finite and positive, got {dt}"
+            );
+        }
+        Clock { spec, ticks: 0 }
+    }
+
+    /// The next tick instant, or `None` if the clock is exhausted.
+    pub(crate) fn next(&self, horizon: EventTime) -> Option<EventTime> {
+        match self.spec {
+            ClockSpec::Horizon => (self.ticks == 0).then_some(horizon),
+            ClockSpec::Every(dt) => {
+                // Product, not accumulation: the grid is a pure function
+                // of (dt, k).
+                #[allow(clippy::cast_precision_loss)]
+                let at = EventTime::new(dt * self.ticks as f64);
+                (at < horizon).then_some(at)
+            }
+        }
+    }
+
+    /// Marks the pending tick as fired.
+    pub(crate) fn advance(&mut self) {
+        self.ticks += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> EventTime {
+        EventTime::new(Seconds::new(s))
+    }
+
+    #[test]
+    fn horizon_fires_once() {
+        let mut c = Clock::new(ClockSpec::Horizon);
+        assert_eq!(c.next(at(10.0)), Some(at(10.0)));
+        c.advance();
+        assert_eq!(c.next(at(10.0)), None);
+    }
+
+    #[test]
+    fn every_ticks_on_the_product_grid() {
+        let mut c = Clock::new(ClockSpec::Every(Seconds::new(0.25)));
+        assert_eq!(c.next(at(1.0)), Some(at(0.0)));
+        c.advance();
+        assert_eq!(c.next(at(1.0)), Some(at(0.25)));
+        c.advance();
+        c.advance();
+        assert_eq!(c.next(at(1.0)), Some(at(0.75)));
+        c.advance();
+        // 4 * 0.25 == horizon: strictly-before, so exhausted.
+        assert_eq!(c.next(at(1.0)), None);
+    }
+}

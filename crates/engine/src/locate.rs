@@ -1,14 +1,19 @@
-//! Event-time solvers for the kernel.
+//! Located events: the first-true root finder.
 //!
-//! Most event times fall out in closed form (timer expiries, battery
-//! depletion, DG crossover). The two genuinely predicate-shaped events —
-//! "the DG can now carry the unthrottled load forever" and "this is the
-//! latest safe instant to fall back" — are located with a first-true
-//! finder: a coarse forward scan to bracket the earliest flip followed by
-//! bisection. Both predicates flip false→true once along the charge
-//! trajectory for every configuration the paper studies; the scan
-//! guards against pathological shapes by only trusting the earliest
-//! bracketed flip.
+//! Hard events have closed-form times; *located* events are
+//! predicate-shaped — "the first instant the DG can carry the unthrottled
+//! load", "the latest safe instant to fall back". This finder brackets
+//! the earliest flip of a predicate over `(lo, hi]` with a coarse forward
+//! scan, then bisects the bracket. Both predicates the kernel feeds it
+//! flip false→true once along the charge trajectory for every
+//! configuration the paper studies; the scan guards against pathological
+//! shapes by only trusting the earliest bracketed flip.
+//!
+//! Determinism note: the sample grid is a pure function of `(lo, hi)`, so
+//! callers must pin `hi` to the cycle's hard-event window *before*
+//! searching (the engine's two-stage hard/plan split exists for exactly
+//! this reason) — a different `hi` means different sample points, a
+//! different bracket, and a root differing in the low-order bits.
 
 use dcb_units::Seconds;
 
@@ -21,7 +26,8 @@ const BISECT_TOL: f64 = 1e-7;
 /// [`BISECT_TOL`]; `None` if it never flips. The caller is expected to
 /// have handled `pred(lo)` (the instantaneous case) already. The returned
 /// instant always satisfies the predicate.
-pub(crate) fn first_true(
+#[must_use]
+pub fn first_true(
     lo: Seconds,
     hi: Seconds,
     mut pred: impl FnMut(Seconds) -> bool,
@@ -29,7 +35,7 @@ pub(crate) fn first_true(
     if hi <= lo {
         return None;
     }
-    dcb_telemetry::counter!("sim.events.first_true_calls").incr();
+    dcb_telemetry::counter!("engine.locate.first_true_calls").incr();
     let span = (hi - lo).value();
     let mut prev = lo;
     for i in 1..=SCAN_SAMPLES {
@@ -51,8 +57,8 @@ pub(crate) fn first_true(
                 }
                 iters += 1;
             }
-            dcb_telemetry::counter!("sim.events.bisection_iters").add(iters);
-            dcb_telemetry::histogram!("sim.events.bisection_iters_per_search").observe(iters);
+            dcb_telemetry::counter!("engine.locate.bisection_iters").add(iters);
+            dcb_telemetry::histogram!("engine.locate.bisection_iters_per_search").observe(iters);
             if dcb_trace::enabled() {
                 dcb_trace::instant(Some(dcb_trace::micros(tr)), None, || {
                     dcb_trace::EventKind::ShortfallRoot { bisections: iters }
@@ -104,5 +110,17 @@ mod tests {
             first_true(Seconds::new(5.0), Seconds::new(5.0), |_| true),
             None
         );
+    }
+
+    #[test]
+    fn window_pins_the_sample_grid() {
+        // Same predicate, same lo, different hi: the scan grids differ, so
+        // the located roots may differ in the low-order bits — the reason
+        // the engine pins hi before any search runs. Equal windows must
+        // produce bit-identical roots.
+        let pred = |t: Seconds| t.value() * t.value() > 2.0;
+        let a = first_true(Seconds::ZERO, Seconds::new(10.0), pred).expect("flip");
+        let b = first_true(Seconds::ZERO, Seconds::new(10.0), pred).expect("flip");
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
     }
 }

@@ -1,0 +1,75 @@
+//! Built-in engine observability.
+//!
+//! Instrumentation is a property of *registration*, not of component
+//! code: the engine counts cycles and fired events, attributes fires to
+//! components through interned `engine.fired.<component>` counters, and —
+//! when per-component lanes are enabled — claims one `dcb-trace` lane per
+//! component and announces it with a `component_lane` event named
+//! `engine/<component>` (the auto-lane naming scheme; see
+//! OBSERVABILITY.md). Component hooks then record into their own lane
+//! without any hand-placed lane plumbing.
+//!
+//! Per-component lanes piggyback on [`dcb_trace::claim_lanes`], which
+//! refuses to claim inside an already-claimed lane: under a fleet batch
+//! (where each scenario already owns a lane) the engine silently inherits
+//! the scenario lane instead, so enabling lanes never perturbs the
+//! byte-compared batch traces.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// What the engine instruments beyond its always-on counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObserveConfig {
+    /// Claim a dedicated trace lane per component (root-lane contexts
+    /// only; inert inside fleet batches). Off by default.
+    pub component_lanes: bool,
+}
+
+/// Interns a dynamically built metric name so it can back a registry
+/// counter (which requires `&'static str`). Each unique name leaks once.
+fn intern(name: String) -> &'static str {
+    static NAMES: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let mut map = NAMES
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(interned) = map.get(&name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    map.insert(name, leaked);
+    leaked
+}
+
+/// The per-component fired-event counter, `engine.fired.<component>`.
+pub(crate) fn fired_counter(component: &'static str) -> &'static dcb_telemetry::Counter {
+    dcb_telemetry::registry().counter(intern(format!("engine.fired.{component}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = intern("engine.test.alpha".to_owned());
+        let b = intern("engine.test.alpha".to_owned());
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "engine.test.alpha");
+    }
+
+    #[test]
+    fn fired_counter_counts() {
+        dcb_telemetry::set_enabled(true);
+        let before = dcb_telemetry::snapshot()
+            .counter("engine.fired.observe-test")
+            .unwrap_or(0);
+        fired_counter("observe-test").incr();
+        let after = dcb_telemetry::snapshot()
+            .counter("engine.fired.observe-test")
+            .unwrap_or(0);
+        dcb_telemetry::set_enabled(false);
+        assert_eq!(after, before + 1);
+    }
+}

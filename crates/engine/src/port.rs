@@ -1,0 +1,101 @@
+//! Typed single-world message ports.
+//!
+//! Components communicate through FIFO channels instead of calling each
+//! other: a producer holds an [`OutPort`], consumers hold the matching
+//! [`InPort`] and drain it during their `sync` hook. Delivery order is
+//! send order — a pure function of the engine's deterministic phase
+//! sequence — so port traffic never introduces scheduling dependence.
+//!
+//! Ports are intentionally *not* `Send`: an engine world is built, run,
+//! and dropped inside one unit of work (one scenario inside a fleet
+//! task), so channels can be plain `Rc<RefCell<VecDeque>>` with no
+//! synchronization cost on the hot path.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Creates a connected port pair.
+#[must_use]
+pub fn port<T>() -> (OutPort<T>, InPort<T>) {
+    let queue = Rc::new(RefCell::new(VecDeque::new()));
+    (
+        OutPort {
+            queue: Rc::clone(&queue),
+        },
+        InPort { queue },
+    )
+}
+
+/// The sending half of a port. Clone to fan in from several producers;
+/// messages interleave in send order.
+#[derive(Debug)]
+pub struct OutPort<T> {
+    queue: Rc<RefCell<VecDeque<T>>>,
+}
+
+impl<T> Clone for OutPort<T> {
+    fn clone(&self) -> Self {
+        OutPort {
+            queue: Rc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> OutPort<T> {
+    /// Enqueues one message.
+    pub fn send(&self, message: T) {
+        self.queue.borrow_mut().push_back(message);
+    }
+}
+
+/// The receiving half of a port.
+#[derive(Debug)]
+pub struct InPort<T> {
+    queue: Rc<RefCell<VecDeque<T>>>,
+}
+
+impl<T> InPort<T> {
+    /// Removes and returns every queued message, in send order.
+    #[must_use]
+    pub fn drain(&self) -> Vec<T> {
+        self.queue.borrow_mut().drain(..).collect()
+    }
+
+    /// Number of queued messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.borrow().len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_arrive_in_send_order() {
+        let (tx, rx) = port::<u32>();
+        tx.send(1);
+        tx.send(2);
+        let tx2 = tx.clone();
+        tx2.send(3);
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx.drain(), vec![1, 2, 3]);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_the_queue() {
+        let (tx, rx) = port::<&'static str>();
+        tx.send("a");
+        assert_eq!(rx.drain(), vec!["a"]);
+        assert_eq!(rx.drain(), Vec::<&'static str>::new());
+    }
+}

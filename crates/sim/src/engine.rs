@@ -271,20 +271,10 @@ impl OutageSim {
         }
     }
 
-    /// The state volume a hibernation-style save must write.
+    /// The state volume a hibernation-style save must write. Delegates to
+    /// the workload model, which owns the image/dirty-set accounting.
     fn hibernate_state(&self, proactive: bool) -> Gigabytes {
-        let w = self.cluster.workload();
-        let eff = w.hibernate_io_efficiency();
-        let raw = if proactive {
-            w.dirty_profile().proactive_hibernate_residual
-        } else {
-            w.hibernate_image()
-        };
-        if eff.is_zero() {
-            Gigabytes::new(f64::INFINITY)
-        } else {
-            raw / eff.value()
-        }
+        self.cluster.workload().hibernate_write_volume(proactive)
     }
 
     /// Initial mode implied by the technique.
@@ -327,11 +317,7 @@ impl OutageSim {
                 after,
             } => {
                 let w = self.cluster.workload();
-                let state = if proactive {
-                    w.dirty_profile().proactive_migration_residual
-                } else {
-                    w.memory_footprint()
-                };
+                let state = w.migration_state(proactive);
                 let plan = self.migration.plan(state, w.dirty_profile().dirty_rate);
                 (
                     Mode::Migrating {

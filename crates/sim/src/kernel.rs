@@ -1,4 +1,5 @@
-//! The event-driven piecewise-analytic solver.
+//! The event-driven piecewise-analytic solver: public facade and shared
+//! transition rules.
 //!
 //! Between events the cluster's mode — hence its load — is constant, so
 //! the outage advances segment by segment instead of step by step. Each
@@ -15,17 +16,18 @@
 //! * the instant a crashed cluster finds enough backup power to reboot;
 //! * outage end.
 //!
-//! The two predicate-shaped events (unthrottle, hybrid fallback) are
-//! located by [`first_true`] over charge-projected probes of the backup
-//! system; everything else falls out of the analytic supply model. The
-//! segment then commits through
-//! [`BackupSystem::supply_segment`](dcb_power::BackupSystem::supply_segment)
-//! — an exact Peukert ramp integral, not a sum of steps — and the mode
-//! transition fires. Results match the fixed-step oracle in
-//! [`stepper`](crate::OutageSim::run_stepped) as its step shrinks.
+//! Since the `dcb-engine` extraction the solver itself is hosted as a set
+//! of engine components — see [`components`](crate::components) for the
+//! battery pack, DG ramp, supply segmenter, technique controller, and
+//! workload/migration couplers, and [`legacy`](crate::legacy) for the
+//! original hand-rolled loop kept as a bit-identity oracle. This module
+//! keeps the stable entry points ([`OutageSim::run_trajectory`] and
+//! friends) and the transition rules both hosts share: the instantaneous
+//! mode checks, the shortfall crash rule, the charge-projected probe
+//! behind located-event searches, and the per-end-cause telemetry.
 
+use crate::components;
 use crate::engine::{Mode, OutageSim, RunState};
-use crate::events::first_true;
 use crate::segment::{Segment, SegmentEnd, Trajectory};
 use crate::Fallback;
 use dcb_power::BackupSystem;
@@ -34,11 +36,11 @@ use dcb_units::{contract, Fraction, Seconds, Watts};
 
 /// Event budget per outage. Real trajectories resolve in well under a
 /// hundred events; the cap is a modeling-bug backstop, not a tuning knob.
-const MAX_EVENTS: u32 = 10_000;
+pub(crate) const MAX_EVENTS: u32 = 10_000;
 
 /// The per-end-cause telemetry counter for a committed segment. The match
 /// keeps each name at a fixed call site so the `counter!` cache applies.
-fn segment_end_counter(end: SegmentEnd) -> &'static dcb_telemetry::Counter {
+pub(crate) fn segment_end_counter(end: SegmentEnd) -> &'static dcb_telemetry::Counter {
     match end {
         SegmentEnd::OutageEnd => dcb_telemetry::counter!("sim.kernel.end.outage_end"),
         SegmentEnd::TimerExpired => dcb_telemetry::counter!("sim.kernel.end.timer_expired"),
@@ -51,9 +53,10 @@ fn segment_end_counter(end: SegmentEnd) -> &'static dcb_telemetry::Counter {
     }
 }
 
-/// What ends the segment under construction.
+/// What ends the segment under construction. Shared by the engine-hosted
+/// components (as the event token) and the legacy oracle loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Pending {
+pub(crate) enum Pending {
     /// Restore full speed: the DG now carries the unthrottled load.
     Unthrottle,
     /// Latest safe instant to enter the hybrid fallback.
@@ -70,6 +73,37 @@ enum Pending {
     End,
 }
 
+impl Pending {
+    /// The calendar token encoding of this event kind.
+    pub(crate) const fn token(self) -> u64 {
+        match self {
+            Pending::Unthrottle => 0,
+            Pending::Fallback => 1,
+            Pending::Shortfall => 2,
+            Pending::Pause => 3,
+            Pending::TimerDone => 4,
+            Pending::RecoveryReady => 5,
+            Pending::End => 6,
+        }
+    }
+
+    /// Decodes a calendar token posted by one of the kernel components.
+    pub(crate) fn from_token(token: u64) -> Pending {
+        match token {
+            0 => Pending::Unthrottle,
+            1 => Pending::Fallback,
+            2 => Pending::Shortfall,
+            3 => Pending::Pause,
+            4 => Pending::TimerDone,
+            5 => Pending::RecoveryReady,
+            _ => {
+                contract!(token == 6, "unknown kernel event token {token}");
+                Pending::End
+            }
+        }
+    }
+}
+
 impl OutageSim {
     /// Runs the event-driven solver against a fresh backup system and
     /// returns the full segment trajectory alongside the outcome.
@@ -82,6 +116,10 @@ impl OutageSim {
     /// Runs the event-driven solver against an existing backup system,
     /// preserving its battery state of charge, and returns the full
     /// segment trajectory alongside the outcome.
+    ///
+    /// Hosted on the `dcb-engine` component core; asserted bit-identical
+    /// to [`OutageSim::run_with_backup_trajectory_legacy`] by the
+    /// componentized differential suite.
     ///
     /// # Panics
     ///
@@ -96,40 +134,9 @@ impl OutageSim {
             outage.value() >= 0.0 && outage.is_finite(),
             "outage must be finite and non-negative"
         );
-        // Root trace event for this scenario plus the DG ramp milestones,
-        // which are a pure function of time and can be emitted up front.
-        let t_root = if dcb_trace::enabled() {
-            let root = dcb_trace::instant(Some(0), None, || dcb_trace::EventKind::OutageStart {
-                config: self.config().label().to_owned(),
-                technique: self.technique().name().to_owned(),
-                outage_us: dcb_trace::micros(outage),
-            });
-            if let Some(dg) = backup.dg() {
-                let mut milestones = vec![
-                    ("engine_start", dg.start_delay()),
-                    ("full_power", dg.transfer_complete()),
-                ];
-                if let Some(fuel) = dg.fuel_runtime() {
-                    milestones.push(("fuel_exhausted", fuel));
-                }
-                for (phase, at) in milestones {
-                    if at <= outage {
-                        dcb_trace::instant(Some(dcb_trace::micros(at)), root, || {
-                            dcb_trace::EventKind::DgRampPhase {
-                                phase: phase.to_owned(),
-                            }
-                        });
-                    }
-                }
-            }
-            root
-        } else {
-            None
-        };
-
         let transitions = TransitionTimes::new(*self.cluster().spec());
         let (mode, state_lost) = self.initial_mode(&transitions);
-        let mut st = RunState {
+        let st = RunState {
             mode,
             state_lost,
             unplanned_crash: false,
@@ -137,250 +144,21 @@ impl OutageSim {
             serving_integral: 0.0,
             downtime: Seconds::ZERO,
         };
-        let mut segments: Vec<Segment> = Vec::new();
-        let mut t = Seconds::ZERO;
-        let mut events = 0u32;
-        while t < outage {
-            events += 1;
-            contract!(
-                events <= MAX_EVENTS,
-                "event budget exceeded at t={t} in mode {:?}",
-                st.mode
-            );
-            if events > MAX_EVENTS {
-                break; // modeling-bug backstop; the contract above reports it
-            }
+        let run = components::run_componentized(self, outage, backup, &transitions, st);
+        self.finish_trajectory(outage, run.st, backup, &transitions, run.segments)
+    }
 
-            // Instantaneous transitions, in the stepper's per-step order.
-            let before = dcb_trace::enabled().then(|| st.mode.name());
-            self.apply_instantaneous(&mut st, backup, &transitions, t, outage);
-            if let Some(from) = before {
-                let to = st.mode.name();
-                if to != from {
-                    dcb_trace::instant(Some(dcb_trace::micros(t)), t_root, || {
-                        dcb_trace::EventKind::TechniqueTransition {
-                            from: from.to_owned(),
-                            to: to.to_owned(),
-                        }
-                    });
-                }
-            }
-
-            // The segment's constant load, and the hard boundary: the next
-            // mode-internal timer, or outage end.
-            let load = self.supply_load(&st.mode, backup);
-            let timer: Option<(Seconds, Pending)> = match &st.mode {
-                Mode::Migrating {
-                    remaining, pause, ..
-                } => Some(if *remaining > *pause {
-                    (t + (*remaining - *pause), Pending::Pause)
-                } else {
-                    (t + *remaining, Pending::TimerDone)
-                }),
-                Mode::EnteringSleep { remaining, .. }
-                | Mode::Saving { remaining, .. }
-                | Mode::Recovering { remaining } => Some((t + *remaining, Pending::TimerDone)),
-                _ => None,
-            };
-            // A timer landing exactly on outage end still fires (the
-            // stepper progresses the mode within its final step).
-            let boundary = match timer {
-                Some((at, ev)) if at <= outage => (at, 3u8, ev),
-                _ => (outage, 4u8, Pending::End),
-            };
-            let hi = boundary.0;
-
-            // Candidate events inside (t, hi], tagged with a tie-breaking
-            // priority mirroring the stepper's within-step check order.
-            let mut cands: Vec<(Seconds, u8, Pending)> = vec![boundary];
-            if let Some(ts) = backup.first_shortfall(load, t, hi) {
-                cands.push((ts.max(t), 2, Pending::Shortfall));
-            }
-            if let Mode::Serving { level, share } = &st.mode {
-                if *level != ThrottleLevel::NONE {
-                    let full = Mode::Serving {
-                        level: ThrottleLevel::NONE,
-                        share: *share,
-                    };
-                    let full_load = self.supply_load(&full, backup);
-                    if let Some(tu) = first_true(t, hi, |tau| {
-                        self.project(backup, load, t, tau)
-                            .endurance(full_load, tau)
-                            .value()
-                            .is_infinite()
-                    }) {
-                        cands.push((tu, 0, Pending::Unthrottle));
-                    }
-                }
-            }
-            if let (Mode::Serving { .. }, Some(fb)) = (&st.mode, self.technique().fallback()) {
-                if let Some(tf) = first_true(t, hi, |tau| {
-                    let probe = self.project(backup, load, t, tau);
-                    self.must_fall_back(
-                        fb,
-                        &probe,
-                        &transitions,
-                        &st.mode,
-                        tau,
-                        outage,
-                        Seconds::ZERO,
-                    )
-                }) {
-                    cands.push((tf, 1, Pending::Fallback));
-                }
-            }
-            if matches!(st.mode, Mode::Crashed) {
-                let reboot_load = self.supply_load(
-                    &Mode::Recovering {
-                        remaining: Seconds::ZERO,
-                    },
-                    backup,
-                );
-                if let Some(tr) =
-                    first_true(t, hi, |tau| backup.available_power(tau) >= reboot_load)
-                {
-                    cands.push((tr, 2, Pending::RecoveryReady));
-                }
-            }
-
-            // Earliest event wins; on a dead-even tie the lower priority
-            // number (the check the stepper runs first) does.
-            let mut best = cands[0];
-            for &c in &cands[1..] {
-                if c.0 < best.0 || (c.0 <= best.0 && c.1 < best.1) {
-                    best = c;
-                }
-            }
-            let (when, _, what) = best;
-            let end = when.min(outage).max(t);
-
-            // Commit the segment: one exact Peukert ramp draw, no steps.
-            if end > t {
-                let sustained = backup.supply_segment(load, t, end);
-                contract!(
-                    ((end - t) - sustained).value().abs() < 1e-3,
-                    "segment [{t}, {end}] not fully sustained: {sustained}"
-                );
-                let (rate, down) = self.mode_rates(&st.mode);
-                st.serving_integral += rate * (end - t).value();
-                if down {
-                    st.downtime += end - t;
-                }
-                let ended_by = match what {
-                    Pending::Unthrottle => SegmentEnd::DgCrossover,
-                    Pending::Fallback => SegmentEnd::HybridFallback,
-                    Pending::Shortfall => match backup.ups() {
-                        Some(u) if u.is_depleted() => SegmentEnd::BatteryDepleted,
-                        _ => SegmentEnd::SupplyOverload,
-                    },
-                    Pending::Pause => SegmentEnd::MigrationPause,
-                    Pending::TimerDone => SegmentEnd::TimerExpired,
-                    Pending::RecoveryReady => SegmentEnd::RecoveryPower,
-                    Pending::End => SegmentEnd::OutageEnd,
-                };
-                segments.push(Segment {
-                    start: t,
-                    end,
-                    load,
-                    throughput: rate,
-                    in_downtime: down,
-                    ended_by,
-                });
-                if dcb_trace::enabled() {
-                    let start_us = dcb_trace::micros(t);
-                    let end_us = dcb_trace::micros(end);
-                    dcb_trace::complete(start_us, end_us.saturating_sub(start_us), t_root, || {
-                        dcb_trace::EventKind::SegmentCommit {
-                            end_cause: ended_by.as_str().to_owned(),
-                            load_mw: (load.value() * 1e3).round() as u64,
-                            throughput_pm: (rate * 1e3).round() as u64,
-                            in_downtime: down,
-                        }
-                    });
-                    if ended_by == SegmentEnd::BatteryDepleted {
-                        dcb_trace::instant(Some(end_us), t_root, || {
-                            dcb_trace::EventKind::BatteryDeplete
-                        });
-                    }
-                }
-                // Timers tick down by the committed span.
-                let elapsed = end - t;
-                match &mut st.mode {
-                    Mode::Migrating { remaining, .. }
-                    | Mode::EnteringSleep { remaining, .. }
-                    | Mode::Saving { remaining, .. }
-                    | Mode::Recovering { remaining } => *remaining -= elapsed,
-                    _ => {}
-                }
-            }
-            t = end;
-
-            // Fire the event's transition.
-            let before = dcb_trace::enabled().then(|| st.mode.name());
-            match what {
-                Pending::End => {}
-                Pending::Pause => {
-                    // Pin the timer to the pause length exactly so the
-                    // copy→pause flip is not re-found a rounding error away.
-                    if let Mode::Migrating {
-                        remaining, pause, ..
-                    } = &mut st.mode
-                    {
-                        *remaining = *pause;
-                    }
-                }
-                Pending::TimerDone => {
-                    st.mode = match st.mode {
-                        Mode::Migrating { after, .. } => Mode::Serving {
-                            level: after,
-                            share: self.consolidated_share(),
-                        },
-                        Mode::EnteringSleep { .. } => self.sleep_target(),
-                        Mode::Saving { level, .. } => Mode::Hibernated {
-                            saved_throttled: level != ThrottleLevel::NONE,
-                        },
-                        Mode::Recovering { .. } => Mode::Serving {
-                            level: ThrottleLevel::NONE,
-                            share: Fraction::ONE,
-                        },
-                        other => other,
-                    };
-                }
-                Pending::Shortfall => self.apply_shortfall(&mut st),
-                Pending::Unthrottle => {
-                    if let Mode::Serving { share, .. } = st.mode {
-                        st.mode = Mode::Serving {
-                            level: ThrottleLevel::NONE,
-                            share,
-                        };
-                    }
-                }
-                Pending::Fallback => {
-                    if let Some(fb) = self.technique().fallback() {
-                        st.mode = self.fallback_mode(fb, &transitions);
-                    }
-                }
-                Pending::RecoveryReady => {
-                    st.crash_recovery_engaged = true;
-                    st.mode = Mode::Recovering {
-                        remaining: self.expected_recovery(),
-                    };
-                }
-            }
-            if let Some(from) = before {
-                let to = st.mode.name();
-                if to != from {
-                    dcb_trace::instant(Some(dcb_trace::micros(t)), t_root, || {
-                        dcb_trace::EventKind::TechniqueTransition {
-                            from: from.to_owned(),
-                            to: to.to_owned(),
-                        }
-                    });
-                }
-            }
-        }
-
-        let outcome = self.assemble(outage, st, backup, &transitions);
+    /// Assembles, validates, and counts a finished trajectory — the
+    /// telemetry tail both kernel hosts share.
+    pub(crate) fn finish_trajectory(
+        &self,
+        outage: Seconds,
+        st: RunState,
+        backup: &mut BackupSystem,
+        transitions: &TransitionTimes,
+        segments: Vec<Segment>,
+    ) -> Trajectory {
+        let outcome = self.assemble(outage, st, backup, transitions);
         let trajectory = Trajectory { segments, outcome };
         trajectory.validate();
         dcb_telemetry::counter!("sim.kernel.outages").incr();
@@ -396,7 +174,7 @@ impl OutageSim {
     /// Zero-duration transitions checked at the current instant, in the
     /// stepper's per-step order: unthrottle, hybrid fallback, crash
     /// recovery.
-    fn apply_instantaneous(
+    pub(crate) fn apply_instantaneous(
         &self,
         st: &mut RunState,
         backup: &BackupSystem,
@@ -439,7 +217,7 @@ impl OutageSim {
 
     /// The stepper's supply-failure transition, fired at the exact
     /// shortfall instant.
-    fn apply_shortfall(&self, st: &mut RunState) {
+    pub(crate) fn apply_shortfall(&self, st: &mut RunState) {
         match st.mode {
             Mode::Hibernated { .. } | Mode::Crashed | Mode::NvdimmPersisted => {
                 // Zero-load modes cannot actually get here, but be safe:
@@ -473,7 +251,7 @@ impl OutageSim {
     /// drawn from `from` — the probe behind predicate-shaped event
     /// searches. Only the battery charge is projected; DG availability is
     /// a pure function of time.
-    fn project(
+    pub(crate) fn project(
         &self,
         backup: &BackupSystem,
         load: Watts,
@@ -572,6 +350,21 @@ mod tests {
                 cursor = seg.end;
             }
             assert!((cursor.value() - 45.0 * 60.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pending_tokens_round_trip() {
+        for pending in [
+            Pending::Unthrottle,
+            Pending::Fallback,
+            Pending::Shortfall,
+            Pending::Pause,
+            Pending::TimerDone,
+            Pending::RecoveryReady,
+            Pending::End,
+        ] {
+            assert_eq!(Pending::from_token(pending.token()), pending);
         }
     }
 }

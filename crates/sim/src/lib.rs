@@ -42,10 +42,11 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod components;
 mod datacenter;
 mod engine;
-mod events;
 mod kernel;
+mod legacy;
 mod outcome;
 mod segment;
 mod stepper;

@@ -1,20 +1,266 @@
 //! The legacy fixed-step solver, kept as a differential oracle for the
-//! event-driven kernel.
+//! event-driven kernel — now expressed as a timed-clock `dcb-engine`
+//! component.
 //!
-//! This is the original engine loop, moved verbatim: advance in fixed
-//! steps (sub-second for short outages, a bounded step count for long
-//! ones), at each step deciding the cluster's load from its mode, drawing
-//! that load from the [`BackupSystem`], progressing transition timers, and
-//! accumulating metrics. Its results converge on the kernel's as the step
-//! shrinks — the property the differential test suite asserts — which is
-//! the only reason it survives; production callers use
+//! This is the original engine loop: advance in fixed steps (sub-second
+//! for short outages, a bounded step count for long ones), at each step
+//! deciding the cluster's load from its mode, drawing that load from the
+//! [`BackupSystem`], progressing transition timers, and accumulating
+//! metrics. Since the `dcb-engine` extraction the cadence comes from an
+//! engine-managed [`ClockSpec::Every`] clock instead of a hand-rolled
+//! `while` loop; the per-step arithmetic is untouched — the component
+//! keeps its own accumulated `t` (the legacy `t += dt` sequence, not the
+//! clock's product grid) so results stay bit-identical to the historical
+//! solver, and the horizon tick drains whatever fractional step the
+//! accumulated time still owes. Its results converge on the kernel's as
+//! the step shrinks — the property the differential test suite asserts —
+//! which is the only reason it survives; production callers use
 //! [`OutageSim::run`](crate::OutageSim::run).
 
 use crate::engine::{Mode, OutageSim, RunState};
 use crate::{Fallback, SimOutcome};
+use dcb_engine::{ClockSpec, Component, Ctx, Engine, Fired};
 use dcb_power::BackupSystem;
 use dcb_server::{ThrottleLevel, TransitionTimes};
-use dcb_units::{Fraction, Seconds};
+use dcb_units::{contract, Fraction, Seconds};
+use dcb_workload::Workload;
+
+/// Token of the per-step clock tick.
+const TICK: u64 = 0;
+/// Token of the horizon tick that drains the final fractional step.
+const DONE: u64 = 1;
+
+/// The stepper world: the legacy loop's locals.
+struct StepWorld<'a> {
+    sim: &'a OutageSim,
+    backup: &'a mut BackupSystem,
+    w: Workload,
+    transitions: TransitionTimes,
+    outage: Seconds,
+    step: Seconds,
+    mode: Mode,
+    state_lost: bool,
+    unplanned_crash: bool,
+    crash_recovery_engaged: bool,
+    serving_integral: f64,
+    downtime: Seconds,
+    expected_recovery: Seconds,
+    /// Accumulated time: the legacy `t += dt` sequence, deliberately kept
+    /// separate from the clock's product grid so every floating-point
+    /// operation matches the historical solver.
+    t: Seconds,
+}
+
+/// Runs one legacy step: `dt = step.min(outage - t)`, moved verbatim
+/// from the historical loop body.
+fn advance_one(world: &mut StepWorld) {
+    let dt = world.step.min(world.outage - world.t);
+    // Once a DG has ramped up far enough to carry the *unthrottled*
+    // load indefinitely, throttling serves no purpose: restore full
+    // speed (the paper throttles only to ride the DG start-up).
+    if let Mode::Serving { level, share } = &world.mode {
+        if *level != ThrottleLevel::NONE {
+            let full = Mode::Serving {
+                level: ThrottleLevel::NONE,
+                share: *share,
+            };
+            let full_load = world.sim.supply_load(&full, world.backup);
+            if world
+                .backup
+                .endurance(full_load, world.t)
+                .value()
+                .is_infinite()
+            {
+                world.mode = full;
+            }
+        }
+    }
+    // Hybrid fallback decision.
+    if let (Mode::Serving { .. }, Some(fb)) = (&world.mode, world.sim.technique().fallback()) {
+        if world.sim.must_fall_back(
+            fb,
+            world.backup,
+            &world.transitions,
+            &world.mode,
+            world.t,
+            world.outage,
+            dt,
+        ) {
+            world.mode = world.sim.fallback_mode(fb, &world.transitions);
+        }
+    }
+    let load = world.sim.supply_load(&world.mode, world.backup);
+    let supply = world.backup.supply(load, world.t, dt);
+    if !supply.fully_covered() {
+        // Credit the portion that was sustained, then crash.
+        let sustained = supply.sustained;
+        match &world.mode {
+            Mode::Serving { level, share } => {
+                world.serving_integral += world
+                    .w
+                    .throughput_at(level.effective_speed(), *share)
+                    .value()
+                    * sustained.value();
+                world.downtime += dt - sustained;
+            }
+            Mode::Migrating { during, .. } => {
+                world.serving_integral += world
+                    .w
+                    .throughput_at(during.effective_speed(), Fraction::ONE)
+                    .value()
+                    * sustained.value();
+                world.downtime += dt - sustained;
+            }
+            _ => world.downtime += dt,
+        }
+        match world.mode {
+            Mode::Hibernated { .. } | Mode::Crashed | Mode::NvdimmPersisted => {
+                // Zero-load modes cannot actually get here, but be
+                // safe: nothing more to lose.
+            }
+            Mode::Recovering { .. } => {
+                world.mode = Mode::Crashed; // power went away mid-reboot
+            }
+            Mode::Serving { .. }
+                if matches!(world.sim.technique().fallback(), Some(Fallback::Nvdimm)) =>
+            {
+                // The in-DIMM supercapacitors flush state as power
+                // collapses: planned, nothing lost.
+                world.mode = Mode::NvdimmPersisted;
+            }
+            _ => {
+                // Losing state that was still intact is an
+                // unplanned failure of the technique; re-crashing a
+                // cluster whose state was already gone (e.g. a
+                // battery-powered reboot that ran dry) adds nothing
+                // the plan had promised to keep.
+                if !world.state_lost {
+                    world.unplanned_crash = true;
+                }
+                world.state_lost = true;
+                world.mode = Mode::Crashed;
+            }
+        }
+        world.t += dt;
+        return;
+    }
+
+    // Power fully supplied: progress the mode.
+    match &mut world.mode {
+        Mode::Serving { level, share } => {
+            world.serving_integral += world
+                .w
+                .throughput_at(level.effective_speed(), *share)
+                .value()
+                * dt.value();
+        }
+        Mode::Migrating {
+            after,
+            remaining,
+            pause,
+            during,
+        } => {
+            if *remaining > *pause {
+                world.serving_integral += world
+                    .w
+                    .throughput_at(during.effective_speed(), Fraction::ONE)
+                    .value()
+                    * dt.value();
+            } else {
+                world.downtime += dt; // stop-and-copy pause
+            }
+            *remaining -= dt;
+            if remaining.value() <= 0.0 {
+                world.mode = Mode::Serving {
+                    level: *after,
+                    share: world.sim.consolidated_share(),
+                };
+            }
+        }
+        Mode::EnteringSleep { remaining, .. } => {
+            world.downtime += dt;
+            *remaining -= dt;
+            if remaining.value() <= 0.0 {
+                world.mode = world.sim.sleep_target();
+            }
+        }
+        Mode::Sleeping => world.downtime += dt,
+        Mode::SleepingRemote => {
+            // Remote peers keep answering reads from this memory.
+            world.serving_integral += world.w.remote_serve_fraction().value() * dt.value();
+        }
+        Mode::NvdimmPersisted => world.downtime += dt,
+        Mode::Saving { remaining, level } => {
+            world.downtime += dt;
+            *remaining -= dt;
+            if remaining.value() <= 0.0 {
+                world.mode = Mode::Hibernated {
+                    saved_throttled: *level != ThrottleLevel::NONE,
+                };
+            }
+        }
+        Mode::Hibernated { .. } => world.downtime += dt,
+        Mode::Crashed => {
+            world.downtime += dt;
+            // A sufficiently ramped DG lets the cluster reboot
+            // mid-outage (NoUPS: "DG translates long outages into
+            // short ones").
+            let reboot_load = world.sim.supply_load(
+                &Mode::Recovering {
+                    remaining: Seconds::ZERO,
+                },
+                world.backup,
+            );
+            if world.backup.available_power(world.t + dt) >= reboot_load {
+                world.crash_recovery_engaged = true;
+                world.mode = Mode::Recovering {
+                    remaining: world.expected_recovery,
+                };
+            }
+        }
+        Mode::Recovering { remaining } => {
+            world.downtime += dt;
+            *remaining -= dt;
+            if remaining.value() <= 0.0 {
+                world.mode = Mode::Serving {
+                    level: ThrottleLevel::NONE,
+                    share: Fraction::ONE,
+                };
+            }
+        }
+    }
+    world.t += dt;
+}
+
+/// The timed-clock component driving the fixed-step solver: one legacy
+/// step per [`ClockSpec::Every`] tick, with the horizon tick draining
+/// whatever accumulated-time remainder the product grid missed.
+struct StepClock;
+
+impl<'a> Component<StepWorld<'a>> for StepClock {
+    fn name(&self) -> &'static str {
+        "step-clock"
+    }
+
+    fn fire(&mut self, world: &mut StepWorld<'a>, _ctx: &mut Ctx, fired: &Fired) {
+        match fired.token {
+            TICK => {
+                if world.t < world.outage {
+                    advance_one(world);
+                }
+            }
+            _ => {
+                contract!(fired.token == DONE, "unknown stepper token {}", fired.token);
+                // The clock grid is `k * step`; the accumulated legacy
+                // time can land short of the horizon by rounding, still
+                // owing a fractional step (or two) at outage end.
+                while world.t < world.outage {
+                    advance_one(world);
+                }
+            }
+        }
+    }
+}
 
 impl OutageSim {
     /// Runs the fixed-step solver against a fresh backup system with the
@@ -58,174 +304,52 @@ impl OutageSim {
         );
         assert!(step.value() > 0.0, "step must be positive");
         let transitions = TransitionTimes::new(*self.cluster().spec());
-        let w = *self.cluster().workload();
-        let (mut mode, mut state_lost) = self.initial_mode(&transitions);
-        let mut unplanned_crash = false;
-        let mut crash_recovery_engaged = false;
-        let mut serving_integral = 0.0; // normalized-throughput seconds
-        let mut downtime = Seconds::ZERO;
-        let expected_recovery = self.expected_recovery();
+        let (mode, state_lost) = self.initial_mode(&transitions);
+        let mut world = StepWorld {
+            sim: self,
+            backup,
+            w: *self.cluster().workload(),
+            transitions,
+            outage,
+            step,
+            mode,
+            state_lost,
+            unplanned_crash: false,
+            crash_recovery_engaged: false,
+            serving_integral: 0.0, // normalized-throughput seconds
+            downtime: Seconds::ZERO,
+            expected_recovery: self.expected_recovery(),
+            t: Seconds::ZERO,
+        };
 
-        let mut t = Seconds::ZERO;
-        while t < outage {
-            let dt = step.min(outage - t);
-            // Once a DG has ramped up far enough to carry the *unthrottled*
-            // load indefinitely, throttling serves no purpose: restore full
-            // speed (the paper throttles only to ride the DG start-up).
-            if let Mode::Serving { level, share } = &mode {
-                if *level != ThrottleLevel::NONE {
-                    let full = Mode::Serving {
-                        level: ThrottleLevel::NONE,
-                        share: *share,
-                    };
-                    let full_load = self.supply_load(&full, backup);
-                    if backup.endurance(full_load, t).value().is_infinite() {
-                        mode = full;
-                    }
-                }
-            }
-            // Hybrid fallback decision.
-            if let (Mode::Serving { .. }, Some(fb)) = (&mode, self.technique().fallback()) {
-                if self.must_fall_back(fb, backup, &transitions, &mode, t, outage, dt) {
-                    mode = self.fallback_mode(fb, &transitions);
-                }
-            }
-            let load = self.supply_load(&mode, backup);
-            let supply = backup.supply(load, t, dt);
-            if !supply.fully_covered() {
-                // Credit the portion that was sustained, then crash.
-                let sustained = supply.sustained;
-                match &mode {
-                    Mode::Serving { level, share } => {
-                        serving_integral +=
-                            w.throughput_at(level.effective_speed(), *share).value()
-                                * sustained.value();
-                        downtime += dt - sustained;
-                    }
-                    Mode::Migrating { during, .. } => {
-                        serving_integral += w
-                            .throughput_at(during.effective_speed(), Fraction::ONE)
-                            .value()
-                            * sustained.value();
-                        downtime += dt - sustained;
-                    }
-                    _ => downtime += dt,
-                }
-                match mode {
-                    Mode::Hibernated { .. } | Mode::Crashed | Mode::NvdimmPersisted => {
-                        // Zero-load modes cannot actually get here, but be
-                        // safe: nothing more to lose.
-                    }
-                    Mode::Recovering { .. } => {
-                        mode = Mode::Crashed; // power went away mid-reboot
-                    }
-                    Mode::Serving { .. }
-                        if matches!(self.technique().fallback(), Some(Fallback::Nvdimm)) =>
-                    {
-                        // The in-DIMM supercapacitors flush state as power
-                        // collapses: planned, nothing lost.
-                        mode = Mode::NvdimmPersisted;
-                    }
-                    _ => {
-                        // Losing state that was still intact is an
-                        // unplanned failure of the technique; re-crashing a
-                        // cluster whose state was already gone (e.g. a
-                        // battery-powered reboot that ran dry) adds nothing
-                        // the plan had promised to keep.
-                        if !state_lost {
-                            unplanned_crash = true;
-                        }
-                        state_lost = true;
-                        mode = Mode::Crashed;
-                    }
-                }
-                t += dt;
-                continue;
-            }
+        let mut engine: Engine<StepWorld> = Engine::new(outage);
+        let clock = engine.add_component(StepClock);
+        engine.add_clock(clock, 3, TICK, ClockSpec::Every(step));
+        engine.add_clock(clock, 4, DONE, ClockSpec::Horizon);
+        // One engine cycle per grid tick plus the horizon: the budget is
+        // sized to the grid, not the kernel's event count.
+        let ticks = (outage.value() / step.value()).ceil();
+        let budget = if ticks.is_finite() && ticks < f64::from(u32::MAX - 8) {
+            ticks as u32
+        } else {
+            u32::MAX - 8
+        };
+        engine.set_max_events(budget.saturating_add(8));
+        engine.run(&mut world);
+        // The engine's type captures the world's borrow of `backup`;
+        // release both before assembling from it.
+        drop(engine);
 
-            // Power fully supplied: progress the mode.
-            match &mut mode {
-                Mode::Serving { level, share } => {
-                    serving_integral +=
-                        w.throughput_at(level.effective_speed(), *share).value() * dt.value();
-                }
-                Mode::Migrating {
-                    after,
-                    remaining,
-                    pause,
-                    during,
-                } => {
-                    if *remaining > *pause {
-                        serving_integral += w
-                            .throughput_at(during.effective_speed(), Fraction::ONE)
-                            .value()
-                            * dt.value();
-                    } else {
-                        downtime += dt; // stop-and-copy pause
-                    }
-                    *remaining -= dt;
-                    if remaining.value() <= 0.0 {
-                        mode = Mode::Serving {
-                            level: *after,
-                            share: self.consolidated_share(),
-                        };
-                    }
-                }
-                Mode::EnteringSleep { remaining, .. } => {
-                    downtime += dt;
-                    *remaining -= dt;
-                    if remaining.value() <= 0.0 {
-                        mode = self.sleep_target();
-                    }
-                }
-                Mode::Sleeping => downtime += dt,
-                Mode::SleepingRemote => {
-                    // Remote peers keep answering reads from this memory.
-                    serving_integral += w.remote_serve_fraction().value() * dt.value();
-                }
-                Mode::NvdimmPersisted => downtime += dt,
-                Mode::Saving { remaining, level } => {
-                    downtime += dt;
-                    *remaining -= dt;
-                    if remaining.value() <= 0.0 {
-                        mode = Mode::Hibernated {
-                            saved_throttled: *level != ThrottleLevel::NONE,
-                        };
-                    }
-                }
-                Mode::Hibernated { .. } => downtime += dt,
-                Mode::Crashed => {
-                    downtime += dt;
-                    // A sufficiently ramped DG lets the cluster reboot
-                    // mid-outage (NoUPS: "DG translates long outages into
-                    // short ones").
-                    let reboot_load = self.supply_load(
-                        &Mode::Recovering {
-                            remaining: Seconds::ZERO,
-                        },
-                        backup,
-                    );
-                    if backup.available_power(t + dt) >= reboot_load {
-                        crash_recovery_engaged = true;
-                        mode = Mode::Recovering {
-                            remaining: expected_recovery,
-                        };
-                    }
-                }
-                Mode::Recovering { remaining } => {
-                    downtime += dt;
-                    *remaining -= dt;
-                    if remaining.value() <= 0.0 {
-                        mode = Mode::Serving {
-                            level: ThrottleLevel::NONE,
-                            share: Fraction::ONE,
-                        };
-                    }
-                }
-            }
-            t += dt;
-        }
-
+        let StepWorld {
+            transitions,
+            mode,
+            state_lost,
+            unplanned_crash,
+            crash_recovery_engaged,
+            serving_integral,
+            downtime,
+            ..
+        } = world;
         self.assemble(
             outage,
             RunState {

@@ -1,0 +1,186 @@
+//! Differential tests: the engine-hosted componentized kernel against
+//! the legacy hand-rolled loop it replaced.
+//!
+//! The `dcb-engine` extraction is a refactor, not a remodel: over the
+//! full Table-3 configuration × technique catalog × duration grid the
+//! componentized kernel must reproduce the legacy kernel's trajectories
+//! **bit for bit** — every segment boundary, every located root, every
+//! outcome metric, down to the last float bit. Anything less means the
+//! engine's calendar ordering or window pinning diverged from the legacy
+//! candidate scan.
+
+use dcb_power::BackupConfig;
+use dcb_sim::{Cluster, OutageSim, Technique, Trajectory};
+use dcb_units::Seconds;
+use dcb_workload::Workload;
+use proptest::prelude::*;
+
+/// Durations spanning the paper's 30 s–2 h evaluation window.
+fn durations() -> [Seconds; 3] {
+    [
+        Seconds::new(30.0),
+        Seconds::new(1800.0),
+        Seconds::new(7200.0),
+    ]
+}
+
+/// Asserts two trajectories are bit-identical: float fields compared by
+/// their raw bits, not by `==` (which would accept -0.0 vs 0.0 and other
+/// same-value-different-bits drift).
+fn assert_bit_identical(new: &Trajectory, old: &Trajectory, label: &str) {
+    assert_eq!(
+        new.segments.len(),
+        old.segments.len(),
+        "{label}: segment count {} vs {}",
+        new.segments.len(),
+        old.segments.len()
+    );
+    for (i, (n, o)) in new.segments.iter().zip(&old.segments).enumerate() {
+        let pairs = [
+            ("start", n.start.value(), o.start.value()),
+            ("end", n.end.value(), o.end.value()),
+            ("load", n.load.value(), o.load.value()),
+            ("throughput", n.throughput, o.throughput),
+        ];
+        for (field, a, b) in pairs {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label}: segment {i} {field} {a} vs {b}"
+            );
+        }
+        assert_eq!(
+            n.in_downtime, o.in_downtime,
+            "{label}: segment {i} downtime"
+        );
+        assert_eq!(n.ended_by, o.ended_by, "{label}: segment {i} end cause");
+    }
+    let (n, o) = (&new.outcome, &old.outcome);
+    assert_eq!(n.feasible, o.feasible, "{label}: feasible");
+    assert_eq!(n.state_lost, o.state_lost, "{label}: state_lost");
+    assert_eq!(n.final_state, o.final_state, "{label}: final_state");
+    let pairs = [
+        ("outage", n.outage.value(), o.outage.value()),
+        ("peak_power", n.peak_power.value(), o.peak_power.value()),
+        (
+            "peak_power_fraction",
+            n.peak_power_fraction.value(),
+            o.peak_power_fraction.value(),
+        ),
+        ("energy", n.energy.value(), o.energy.value()),
+        (
+            "perf_during_outage",
+            n.perf_during_outage.value(),
+            o.perf_during_outage.value(),
+        ),
+        (
+            "downtime.min",
+            n.downtime.min.value(),
+            o.downtime.min.value(),
+        ),
+        (
+            "downtime.expected",
+            n.downtime.expected.value(),
+            o.downtime.expected.value(),
+        ),
+        (
+            "downtime.max",
+            n.downtime.max.value(),
+            o.downtime.max.value(),
+        ),
+        (
+            "downtime_during_outage",
+            n.downtime_during_outage.value(),
+            o.downtime_during_outage.value(),
+        ),
+    ];
+    for (field, a, b) in pairs {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: outcome {field} {a} vs {b}"
+        );
+    }
+}
+
+/// Runs both kernels on the same scenario (each against its own fresh
+/// backup system) and demands bit identity.
+fn compare(sim: &OutageSim, outage: Seconds, label: &str) {
+    let new = sim.run_trajectory(outage);
+    let old = sim.run_trajectory_legacy(outage);
+    assert_bit_identical(&new, &old, label);
+}
+
+#[test]
+fn componentized_kernel_is_bit_identical_on_the_full_grid() {
+    let cluster = Cluster::rack(Workload::specjbb());
+    let mut scenarios = 0u32;
+    for config in BackupConfig::table3() {
+        for technique in Technique::extended_catalog() {
+            let sim = OutageSim::new(cluster, config.clone(), technique.clone());
+            for outage in durations() {
+                let label = format!("{config} / {technique} / {outage}");
+                compare(&sim, outage, &label);
+                scenarios += 1;
+            }
+        }
+    }
+    // 9 configs × 16 techniques × 3 durations: a regression here means
+    // the grid itself shrank, not just a scenario.
+    assert_eq!(scenarios, 9 * 16 * 3, "the Table-3 grid shrank");
+}
+
+#[test]
+fn componentized_kernel_handles_degenerate_durations() {
+    let cluster = Cluster::rack(Workload::specjbb());
+    for technique in [
+        Technique::ride_through(),
+        Technique::hibernate(),
+        Technique::migration(),
+    ] {
+        let sim = OutageSim::new(cluster, BackupConfig::no_dg(), technique.clone());
+        for outage in [0.0, 1e-6, 0.25] {
+            let label = format!("degenerate {technique} / {outage}s");
+            compare(&sim, Seconds::new(outage), &label);
+        }
+    }
+}
+
+#[test]
+fn componentized_kernel_preserves_battery_state_coupling() {
+    // Back-to-back outages against the *same* backup system: the second
+    // run starts from whatever charge the first left behind, so any
+    // drift in the first run's final draw shows up in the second.
+    let cluster = Cluster::rack(Workload::specjbb());
+    let sim = OutageSim::new(
+        cluster,
+        BackupConfig::large_e_ups(),
+        Technique::ride_through(),
+    );
+    let mut backup_new = sim.config().instantiate(sim.cluster().peak_power());
+    let mut backup_old = sim.config().instantiate(sim.cluster().peak_power());
+    for (i, outage) in [600.0, 900.0].into_iter().enumerate() {
+        let new = sim.run_with_backup_trajectory(Seconds::new(outage), &mut backup_new);
+        let old = sim.run_with_backup_trajectory_legacy(Seconds::new(outage), &mut backup_old);
+        assert_bit_identical(&new, &old, &format!("chained outage #{i}"));
+    }
+}
+
+proptest! {
+    // Randomized scenario draw: any technique, any Table-3 config, any
+    // duration in the 30 s–2 h window (not just the grid points).
+    #[test]
+    fn componentized_kernel_is_bit_identical_on_random_scenarios(
+        config_ix in 0usize..9,
+        technique_ix in 0usize..16,
+        duration_s in 30.0f64..7200.0,
+    ) {
+        let cluster = Cluster::rack(Workload::specjbb());
+        let config = BackupConfig::table3().swap_remove(config_ix);
+        let technique = Technique::extended_catalog().swap_remove(technique_ix);
+        let sim = OutageSim::new(cluster, config.clone(), technique.clone());
+        let outage = Seconds::new(duration_s);
+        let label = format!("{config} / {technique} / {outage}");
+        compare(&sim, outage, &label);
+    }
+}

@@ -21,6 +21,10 @@
 //!   leaf class (fanned out over [`dcb_fleet::FleetPool`]), and stitches
 //!   outcomes bottom-up into a [`TopologyOutcome`] with per-level
 //!   [`LevelReport`]s and [`ResolveStats`].
+//! - [`evaluate`] — the leaf-evaluation seam: the planner emits
+//!   [`LeafRun`] descriptions and an injectable [`LeafEvaluator`] turns
+//!   them into outcomes ([`KernelEvaluator`], the engine-hosted kernel,
+//!   by default).
 //! - [`parse_spec`] — a small text spec format for `repro topo`.
 //!
 //! A degenerate single-path topology ([`Topology::single_path`]) is
@@ -32,13 +36,17 @@
 #![warn(missing_docs)]
 
 pub mod digest;
+pub mod evaluate;
 pub mod node;
 pub mod outcome;
 pub mod resolve;
 pub mod spec;
 
 pub use digest::{collapse, unit_digest};
+pub use evaluate::{BackupShare, KernelEvaluator, LeafEvaluator, LeafRun};
 pub use node::{Body, Consumer, DeficitPolicy, Level, Node, Topology, TopologyError};
 pub use outcome::{LevelReport, ResolveStats, TopologyOutcome};
-pub use resolve::{resolve, resolve_flat, resolve_with, Aggregation, BROWNOUT_FLOOR};
+pub use resolve::{
+    resolve, resolve_flat, resolve_with, resolve_with_evaluator, Aggregation, BROWNOUT_FLOOR,
+};
 pub use spec::{parse_spec, SpecError};

@@ -31,11 +31,12 @@
 //! the flat kernel's [`SimOutcome`].
 
 use crate::digest::collapse;
+use crate::evaluate::{BackupShare, KernelEvaluator, LeafEvaluator, LeafRun};
 use crate::node::{Body, Consumer, DeficitPolicy, Level, Node, Topology, TopologyError};
 use crate::outcome::{LevelReport, ResolveStats, TopologyOutcome};
 use dcb_fleet::{FleetPool, StableHasher};
 use dcb_power::BackupConfig;
-use dcb_sim::{Cluster, FinalState, OutageSim, SimOutcome, Technique};
+use dcb_sim::{Cluster, FinalState, SimOutcome, Technique};
 use dcb_trace::EventKind;
 use dcb_units::{Fraction, Seconds, WattHours, Watts};
 use dcb_workload::DowntimeRange;
@@ -95,6 +96,24 @@ pub fn resolve_with(
     pool: &FleetPool,
     aggregation: Aggregation,
 ) -> Result<TopologyOutcome, TopologyError> {
+    resolve_with_evaluator(topology, outage, pool, aggregation, &KernelEvaluator)
+}
+
+/// Resolves with an injected [`LeafEvaluator`]: the planner and stitcher
+/// run unchanged, but every distinct leaf class is evaluated through the
+/// given seam instead of the default engine-hosted kernel.
+///
+/// # Errors
+///
+/// Returns the [`TopologyError`] of the first structural invariant the
+/// topology violates.
+pub fn resolve_with_evaluator<E: LeafEvaluator + ?Sized>(
+    topology: &Topology,
+    outage: Seconds,
+    pool: &FleetPool,
+    aggregation: Aggregation,
+    evaluator: &E,
+) -> Result<TopologyOutcome, TopologyError> {
     topology.validate()?;
     let _span = dcb_telemetry::span("topo.resolve");
     let tree = match aggregation {
@@ -107,7 +126,8 @@ pub fn resolve_with(
     planner.materialize_jobs();
     planner.stats.distinct_leaf_sims = planner.jobs.len() as u64;
 
-    let results: Vec<SimOutcome> = pool.run_all(&planner.jobs, |job| job.run(outage));
+    let results: Vec<SimOutcome> =
+        pool.run_all(&planner.jobs, |job| evaluator.evaluate(job, outage));
 
     let lanes = dcb_trace::claim_lanes(Level::ALL.len());
     let mut stitcher = Stitcher {
@@ -143,59 +163,12 @@ pub fn resolve_with(
     })
 }
 
-/// One scheduled kernel run: a distinct (leaf class, supply share) pair.
-#[derive(Debug, Clone)]
-enum LeafJob {
-    /// Run the consumer's technique against its slice of the domain backup.
-    Serve {
-        cluster: Cluster,
-        config: BackupConfig,
-        technique: Technique,
-        share: Share,
-    },
-    /// The deficit policy cut this group's power: crash with no backup.
-    Shed { cluster: Cluster },
-}
-
-/// How a served leaf's backup slice is sized.
-#[derive(Debug, Clone, PartialEq)]
-enum Share {
-    /// The nameplate-proportional slice (no shedding in the domain).
-    Proportional,
-    /// Survivors split the whole installed base: slice scaled by
-    /// `nameplate / (nameplate - shed)` ≥ 1.
-    Boosted(f64),
-}
-
-impl LeafJob {
-    fn digest(&self) -> u128 {
-        let mut hasher = StableHasher::new();
-        hasher.write_debug(self);
-        hasher.finish()
-    }
-
-    fn run(&self, outage: Seconds) -> SimOutcome {
-        match self {
-            LeafJob::Shed { cluster } => {
-                OutageSim::new(*cluster, BackupConfig::min_cost(), Technique::crash()).run(outage)
-            }
-            LeafJob::Serve {
-                cluster,
-                config,
-                technique,
-                share,
-            } => {
-                let sim = OutageSim::new(*cluster, config.clone(), technique.clone());
-                match share {
-                    Share::Proportional => sim.run(outage),
-                    Share::Boosted(boost) => {
-                        let mut backup = config.instantiate(cluster.peak_power() * *boost);
-                        sim.run_with_backup(outage, &mut backup)
-                    }
-                }
-            }
-        }
-    }
+/// Stable fingerprint of a planned leaf run, used to deduplicate
+/// identical jobs within one resolve.
+fn job_digest(run: &LeafRun) -> u128 {
+    let mut hasher = StableHasher::new();
+    hasher.write_debug(run);
+    hasher.finish()
 }
 
 /// One supply domain: the subtree under a backup-provisioning node.
@@ -260,7 +233,7 @@ enum ClassKind<'a> {
 struct Planner {
     stats: ResolveStats,
     domains: Vec<Domain>,
-    jobs: Vec<LeafJob>,
+    jobs: Vec<LeafRun>,
 }
 
 impl Planner {
@@ -496,27 +469,27 @@ impl Planner {
         for domain in &mut self.domains {
             let headroom = domain.nameplate - domain.shed_demand;
             let share = if domain.shed_demand.is_zero() || !headroom.is_positive() {
-                Share::Proportional
+                BackupShare::Proportional
             } else {
-                Share::Boosted(domain.nameplate / headroom)
+                BackupShare::Boosted(domain.nameplate / headroom)
             };
             let job_of: Vec<usize> = domain
                 .pending
                 .iter()
                 .map(|leaf| {
                     let job = if leaf.shed {
-                        LeafJob::Shed {
+                        LeafRun::Shed {
                             cluster: leaf.cluster,
                         }
                     } else {
-                        LeafJob::Serve {
+                        LeafRun::Serve {
                             cluster: leaf.cluster,
                             config: domain.config.clone().unwrap_or_else(BackupConfig::min_cost),
                             technique: leaf.technique.clone(),
                             share: share.clone(),
                         }
                     };
-                    *index.entry(job.digest()).or_insert_with(|| {
+                    *index.entry(job_digest(&job)).or_insert_with(|| {
                         jobs.push(job);
                         jobs.len() - 1
                     })

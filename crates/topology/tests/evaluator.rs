@@ -1,0 +1,117 @@
+//! The leaf-evaluation seam: injecting an evaluator must be transparent
+//! when it is the default kernel, observable when it is not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dcb_fleet::FleetPool;
+use dcb_power::BackupConfig;
+use dcb_sim::{Cluster, SimOutcome, Technique};
+use dcb_topology::{
+    resolve, resolve_with_evaluator, Aggregation, Consumer, KernelEvaluator, LeafEvaluator,
+    LeafRun, Level, Node, Topology,
+};
+use dcb_units::Seconds;
+use dcb_workload::Workload;
+
+/// A small two-workload DC: two distinct leaf classes behind one domain.
+fn mixed_dc(racks: u32) -> Topology {
+    let web = Node::consumer(
+        "web",
+        Level::Rack,
+        Consumer::new(
+            Cluster::rack(Workload::web_search()),
+            Technique::hibernate(),
+        ),
+    )
+    .times(racks);
+    let batch = Node::consumer(
+        "batch",
+        Level::Rack,
+        Consumer::new(
+            Cluster::rack(Workload::spec_cpu()),
+            Technique::ride_through(),
+        ),
+    )
+    .times(racks);
+    let root = Node::group("dc", Level::Datacenter, vec![web, batch])
+        .with_backup(BackupConfig::large_e_ups());
+    Topology::new(root)
+}
+
+/// Counts seam crossings while delegating to the default kernel.
+struct CountingEvaluator {
+    calls: AtomicU64,
+}
+
+impl LeafEvaluator for CountingEvaluator {
+    fn evaluate(&self, run: &LeafRun, outage: Seconds) -> SimOutcome {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        KernelEvaluator.evaluate(run, outage)
+    }
+}
+
+/// An evaluator whose verdict the stitcher must propagate: every leaf is
+/// reported infeasible with lost state.
+struct Pessimist;
+
+impl LeafEvaluator for Pessimist {
+    fn evaluate(&self, run: &LeafRun, outage: Seconds) -> SimOutcome {
+        let mut outcome = KernelEvaluator.evaluate(run, outage);
+        outcome.feasible = false;
+        outcome.state_lost = true;
+        outcome
+    }
+}
+
+#[test]
+fn injecting_the_kernel_evaluator_is_bit_identical_to_resolve() {
+    let topology = mixed_dc(12);
+    let outage = Seconds::new(1800.0);
+    let default = resolve(&topology, outage).expect("default resolves");
+    let injected = resolve_with_evaluator(
+        &topology,
+        outage,
+        &FleetPool::new(),
+        Aggregation::Collapsed,
+        &KernelEvaluator,
+    )
+    .expect("injected resolves");
+    assert_eq!(default, injected);
+}
+
+#[test]
+fn every_distinct_leaf_class_crosses_the_seam_exactly_once() {
+    let topology = mixed_dc(12);
+    let evaluator = CountingEvaluator {
+        calls: AtomicU64::new(0),
+    };
+    let outcome = resolve_with_evaluator(
+        &topology,
+        Seconds::new(600.0),
+        &FleetPool::new(),
+        Aggregation::Collapsed,
+        &evaluator,
+    )
+    .expect("counting resolves");
+    assert_eq!(
+        evaluator.calls.load(Ordering::Relaxed),
+        outcome.stats.distinct_leaf_sims,
+        "seam crossings must equal deduplicated leaf sims"
+    );
+    assert!(outcome.stats.distinct_leaf_sims >= 2, "two classes planned");
+}
+
+#[test]
+fn the_stitcher_consumes_the_injected_verdicts() {
+    let topology = mixed_dc(4);
+    let outcome = resolve_with_evaluator(
+        &topology,
+        Seconds::new(600.0),
+        &FleetPool::new(),
+        Aggregation::Collapsed,
+        &Pessimist,
+    )
+    .expect("pessimist resolves");
+    assert!(!outcome.aggregate.feasible, "AND over infeasible leaves");
+    assert!(outcome.aggregate.state_lost, "OR over lost state");
+}

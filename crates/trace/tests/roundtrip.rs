@@ -29,7 +29,7 @@ fn string_from(bits: u64) -> String {
     out
 }
 
-/// Builds one of the ten event kinds from a selector and payload bits.
+/// Builds one of the event kinds from a selector and payload bits.
 fn kind_from(selector: u8, bits: u64, number: u64) -> EventKind {
     match selector {
         0 => EventKind::OutageStart {
@@ -59,10 +59,24 @@ fn kind_from(selector: u8, bits: u64, number: u64) -> EventKind {
             digest: string_from(bits),
         },
         8 => EventKind::ShortfallRoot { bisections: number },
-        _ => EventKind::Evaluate {
+        9 => EventKind::Evaluate {
             config: string_from(bits),
             technique: string_from(bits.rotate_left(41)),
             feasible: bits & 1 == 0,
+        },
+        10 => EventKind::TopoResolve {
+            level: string_from(bits),
+            name: string_from(bits.rotate_left(11)),
+            multiplicity: number,
+            feasible: bits & 1 == 1,
+        },
+        11 => EventKind::TopoShed {
+            level: string_from(bits),
+            name: string_from(bits.rotate_left(23)),
+            servers: number,
+        },
+        _ => EventKind::ComponentLane {
+            component: string_from(bits),
         },
     }
 }
@@ -77,7 +91,7 @@ proptest! {
         parent_bits in 0u64..=u64::MAX,
         at_bits in 0u64..=u64::MAX,
         dur in 0u64..=u64::MAX,
-        selector in 0u8..10,
+        selector in 0u8..13,
         bits in 0u64..=u64::MAX,
         number in 0u64..=u64::MAX,
     ) {
@@ -120,7 +134,7 @@ proptest! {
                 // Bounded timestamps keep f64 round-trips in the validator exact.
                 at_us: (at & 1 == 1).then_some((at >> 1) % (1 << 50)),
                 dur_us: next() % (1 << 50),
-                kind: kind_from((bits % 10) as u8, bits, number),
+                kind: kind_from((bits % 13) as u8, bits, number),
             });
         }
         let document = chrome::export(&events);

@@ -305,6 +305,39 @@ impl Workload {
         }
     }
 
+    /// The state volume a hibernation-style save must write: the full
+    /// image, or the residual dirty set when the save was pre-staged
+    /// proactively, inflated by its I/O inefficiency. This is the
+    /// workload side of the simulator's save-time model — the kernel's
+    /// technique controller consumes it instead of reassembling the
+    /// quotient from the raw image fields.
+    #[must_use]
+    pub fn hibernate_write_volume(&self, proactive: bool) -> Gigabytes {
+        let raw = if proactive {
+            self.dirty.proactive_hibernate_residual
+        } else {
+            self.hibernate_image
+        };
+        if self.hibernate_io_efficiency.is_zero() {
+            Gigabytes::new(f64::INFINITY)
+        } else {
+            raw / self.hibernate_io_efficiency.value()
+        }
+    }
+
+    /// The state volume a live migration must move: the full resident
+    /// footprint, or the residual dirty set when migration was
+    /// pre-staged proactively. The workload side of the simulator's
+    /// migration-plan coupling.
+    #[must_use]
+    pub fn migration_state(&self, proactive: bool) -> Gigabytes {
+        if proactive {
+            self.dirty.proactive_migration_residual
+        } else {
+            self.memory_footprint
+        }
+    }
+
     /// Fraction of execution time stalled on memory (insensitive to CPU
     /// frequency).
     #[must_use]
