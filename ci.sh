@@ -41,18 +41,17 @@ test "$comp_elapsed" -le 120 || { echo "componentized differential took ${comp_e
 echo "== engine bench smoke (event kernel vs stepped oracle)"
 DCB_ENGINE_BENCH_SMOKE=1 cargo bench -q -p dcb-bench --bench engine
 
-echo "== engine bench history floor (newest engine-v2 entry >= 5x)"
-min=$(grep '"bench": "engine"' BENCH_history.jsonl | grep '"tag": "engine-v2"' | tail -n 1 | sed -n 's/.*"min_speedup": \([0-9.eE+-]*\).*/\1/p')
-test -n "$min" || { echo "no engine-v2-tagged min_speedup in BENCH_history.jsonl"; exit 1; }
-awk -v m="$min" 'BEGIN { if (m + 0 < 5.0) { print "engine bench history floor violated: " m "x < 5x"; exit 1 } }'
+echo "== bench history schema validation after engine append (repro perf validate)"
+cargo run --release -q -p dcb-bench --bin repro -- perf validate
 
 echo "== topology bench smoke (aggregated vs flat resolution)"
 DCB_TOPOLOGY_BENCH_SMOKE=1 cargo bench -q -p dcb-bench --bench topology
 
-echo "== topology bench history floor (newest topology entry >= 10x)"
-min=$(grep '"bench": "topology"' BENCH_history.jsonl | tail -n 1 | sed -n 's/.*"min_speedup": \([0-9.eE+-]*\).*/\1/p')
-test -n "$min" || { echo "no min_speedup in newest topology BENCH_history.jsonl entry"; exit 1; }
-awk -v m="$min" 'BEGIN { if (m + 0 < 10.0) { print "topology bench history floor violated: " m "x < 10x"; exit 1 } }'
+echo "== bench history schema validation after topology append (repro perf validate)"
+cargo run --release -q -p dcb-bench --bin repro -- perf validate
+
+echo "== ratcheted bench-history floors (repro perf check; supersedes the old 5x/10x greps)"
+cargo run --release -q -p dcb-bench --bin repro -- perf check
 
 echo "== dcb-audit check (workspace invariants)"
 cargo run --release -q -p dcb-audit -- check
@@ -66,11 +65,20 @@ cargo test -q -p dcb-audit --test selftest telemetry
 echo "== dcb-audit trace read-fence self-test (lint fixture)"
 cargo test -q -p dcb-audit --test selftest trace
 
+echo "== dcb-audit prof read-fence self-test (lint fixture)"
+cargo test -q -p dcb-audit --test selftest prof
+
 echo "== dcb-audit kernel-internals fence self-test (lint fixture)"
 cargo test -q -p dcb-audit kernel_internals
 
 echo "== trace determinism (Chrome export byte-identical across DCB_THREADS)"
 cargo test -q --release -p dcb-bench --test trace_chrome
+
+echo "== profiler determinism (collapsed/svg byte-identical across DCB_THREADS, telemetry-reconciled)"
+cargo test -q --release -p dcb-bench --test prof_profile
+
+echo "== perf observatory regression detection (injected-regression fixture)"
+cargo test -q -p dcb-bench --test perf_observatory
 
 echo "== explain timeline consistency (trace tally vs kernel outcome)"
 cargo test -q --release -p dcb-bench --test explain_timeline

@@ -102,6 +102,14 @@ pub fn all() -> Vec<LintSpec> {
             check: trace_in_result,
         },
         LintSpec {
+            name: "prof-in-result",
+            summary: "reading the work-attribution profiler (dcb_prof::snapshot/reset, the Profile type, the collapsed/svg/observatory exporters) inside model code lets profiling feed back into results; recording (frame/record/handoff/enter) is always fine",
+            roles: &[Role::Library, Role::Binary],
+            exempt_crates: &["prof", "bench", "audit"],
+            skip_in_test: true,
+            check: prof_in_result,
+        },
+        LintSpec {
             name: "panic-site",
             summary: "unwrap/expect/panic!/todo!/unimplemented! in library code (return Results or document `# Panics` and allow)",
             roles: &[Role::Library],
@@ -433,6 +441,44 @@ fn trace_in_result(tokens: &[Token]) -> Vec<(u32, String)> {
     out
 }
 
+/// `prof-in-result`: reads of work-attribution state — the `Profile`
+/// tree type, `dcb_prof::snapshot`/`reset`, or the `collapsed`/`svg`/
+/// `observatory` exporter modules — in model code. Recording into the
+/// attribution arena (`frame`/`record`/`handoff`/`enter`/`enabled`) is
+/// always fine; *reading* the tree back is fenced to the report edges so
+/// profiling can never steer a result.
+fn prof_in_result(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.kind.ident() else { continue };
+        if name == "Profile" || name == "ProfNode" {
+            out.push((
+                t.line,
+                format!("profiler `{name}` in model code; attribution trees may only be read at report edges (bench)"),
+            ));
+            continue;
+        }
+        if name == "dcb_prof"
+            && tokens.get(i + 1).is_some_and(|n| n.kind.is_op("::"))
+            && tokens.get(i + 2).is_some_and(|n| {
+                n.kind.ident().is_some_and(|f| {
+                    matches!(
+                        f,
+                        "snapshot" | "reset" | "collapsed" | "svg" | "observatory"
+                    )
+                })
+            })
+        {
+            let read = tokens[i + 2].kind.ident().unwrap_or_default();
+            out.push((
+                t.line,
+                format!("`dcb_prof::{read}` reads the profiler back into model code; only report edges (bench) may read"),
+            ));
+        }
+    }
+    out
+}
+
 /// `panic-site`: `.unwrap(`, `.expect(`, `panic!`, `todo!`,
 /// `unimplemented!` in library code.
 fn panic_site(tokens: &[Token]) -> Vec<(u32, String)> {
@@ -591,6 +637,25 @@ mod tests {
         let mut f = lib_file();
         f.crate_name = "bench".to_owned();
         assert!(check_file(&f, &scan("fn f() { let _ = dcb_trace::drain(); }")).is_empty());
+    }
+
+    #[test]
+    fn prof_reads_are_fenced() {
+        assert_eq!(check("fn f() { let p = dcb_prof::snapshot(); }").len(), 1);
+        assert_eq!(check("fn f() { dcb_prof::reset(); }").len(), 1);
+        assert_eq!(
+            check("fn f(p: &Profile) -> String { dcb_prof::collapsed::render(p) }").len(),
+            2
+        );
+        // Recording is not a read.
+        assert!(check("fn f() { let _g = dcb_prof::frame(\"phase\"); }").is_empty());
+        assert!(check("fn f() { dcb_prof::record(dcb_prof::WorkKind::Cycles, 1); }").is_empty());
+        assert!(check("fn f(h: &dcb_prof::Handoff) { let _g = dcb_prof::enter(h); }").is_empty());
+        assert!(check("fn f() { if dcb_prof::enabled() { g(); } }").is_empty());
+        // The report edge is exempt by crate.
+        let mut f = lib_file();
+        f.crate_name = "bench".to_owned();
+        assert!(check_file(&f, &scan("fn f() { let _ = dcb_prof::snapshot(); }")).is_empty());
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! Fixture: profiler reads in model code (3 expected `prof-in-result`
+//! findings). Recording sites (frame/record/handoff/enter/enabled) are
+//! deliberately present and must stay clean — only *reads* are fenced.
+
+pub fn steer_by_profile() -> u64 {
+    if dcb_prof::enabled() {
+        let _phase = dcb_prof::frame("resolve");
+        dcb_prof::record(dcb_prof::WorkKind::Cycles, 1);
+    }
+    let profile = dcb_prof::snapshot();
+    profile.total(dcb_prof::WorkKind::Cycles)
+}
+
+pub fn export_from_model(profile: &Profile) -> String {
+    dcb_prof::collapsed::render(profile)
+}
+
+pub fn record_only(h: Option<&dcb_prof::Handoff>) {
+    let _entered = h.map(dcb_prof::enter);
+    let _phase = dcb_prof::frame("evaluate");
+    dcb_prof::record(dcb_prof::WorkKind::Segments, 2);
+}

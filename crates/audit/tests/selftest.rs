@@ -48,6 +48,7 @@ fn every_lint_class_is_detected() {
         ("kernel_internals.rs", "kernel-internals", 3),
         ("telemetry_in_result.rs", "telemetry-in-result", 3),
         ("trace_in_result.rs", "trace-in-result", 3),
+        ("prof_in_result.rs", "prof-in-result", 3),
     ] {
         let found = audit_fixture(fixture);
         assert_eq!(
@@ -110,6 +111,29 @@ fn trace_reads_fenced_but_recording_allowed() {
 }
 
 #[test]
+fn prof_reads_fenced_but_recording_allowed() {
+    // The fixture mixes record sites (frame/record/handoff-enter) with
+    // reads (snapshot(), a Profile binding, collapsed::render): exactly
+    // the reads fire.
+    let found = audit_fixture("prof_in_result.rs");
+    assert_eq!(count(&found, "prof-in-result"), 3, "found {found:?}");
+    // Recording alone is clean in model code.
+    let file = SourceFile {
+        path: PathBuf::from("crates/x/src/lib.rs"),
+        rel: "crates/x/src/lib.rs".to_owned(),
+        role: Role::Library,
+        crate_name: "x".to_owned(),
+    };
+    let recording_only = "pub fn f() {\n    if dcb_prof::enabled() {\n        let _phase = dcb_prof::frame(\"f\");\n        dcb_prof::record(dcb_prof::WorkKind::Cycles, 1);\n    }\n}\n";
+    assert!(check_source(&file, recording_only).is_empty());
+    // The report edges (bench) are exempt by crate.
+    let mut bench_file = file;
+    bench_file.crate_name = "bench".to_owned();
+    let reads = "pub fn f() { let _ = dcb_prof::collapsed::render(&dcb_prof::snapshot()); }";
+    assert!(check_source(&bench_file, reads).is_empty());
+}
+
+#[test]
 fn topology_crate_is_covered_by_the_core_lints() {
     // The graph layer is model code: every determinism/unit lint the issue
     // names must apply to `crates/topology` — no scope-matrix exemption.
@@ -120,6 +144,7 @@ fn topology_crate_is_covered_by_the_core_lints() {
         "time-source",
         "telemetry-in-result",
         "trace-in-result",
+        "prof-in-result",
     ];
     let specs = dcb_audit::lints::all();
     for lint in covered {

@@ -7,14 +7,16 @@
 //! cargo run --release -p dcb-bench --bin repro -- sensitivity
 //! ```
 
-use dcb_bench::{all_exhibits, explain, extra_exhibits, tables, topo, verify};
+use dcb_bench::{all_exhibits, explain, extra_exhibits, perf, profile, tables, topo, verify};
 use dcb_trace::TraceMode;
 
 fn main() {
     // Enables metric collection when DCB_TELEMETRY=json|text; the default
     // NullSink leaves every record site at one branch. Likewise the flight
-    // recorder via DCB_TRACE=chrome|timeline.
+    // recorder via DCB_TRACE=chrome|timeline and the work-attribution
+    // profiler via DCB_PROF=text|collapsed|svg.
     dcb_telemetry::init_from_env();
+    dcb_prof::init_from_env();
     let trace_mode = dcb_trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -23,6 +25,36 @@ fn main() {
     // annotated timeline.
     if args.first().map(String::as_str) == Some("explain") {
         match explain::run_cli(&args[1..]) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // `repro profile <exhibit>...` forces telemetry + the profiler on,
+    // runs the exhibits, reconciles the work tally against the telemetry
+    // counters, and renders per DCB_PROF (collapsed/svg are
+    // byte-reproducible across DCB_THREADS).
+    if args.first().map(String::as_str) == Some("profile") {
+        match profile::run_cli(&args[1..]) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // `repro perf` analyzes BENCH_history.jsonl: trends, noise bands,
+    // regression detection, and the ratcheted floors ci.sh asserts.
+    if args.first().map(String::as_str) == Some("perf") {
+        match perf::run_cli(&args[1..]) {
             Ok(report) => {
                 print!("{report}");
                 return;

@@ -16,6 +16,8 @@ pub mod ablations;
 pub mod csv;
 pub mod explain;
 pub mod figures;
+pub mod perf;
+pub mod profile;
 pub mod tables;
 pub mod topo;
 pub mod verify;

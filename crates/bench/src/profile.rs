@@ -1,0 +1,196 @@
+//! The `repro profile <exhibit>` subcommand: deterministic
+//! work-attribution profiles.
+//!
+//! Runs the named exhibits with both telemetry and the profiler forced
+//! on, then **reconciles** the profile's per-kind totals against the
+//! mirrored telemetry counters — an exact equality, not a tolerance.
+//! A profile that doesn't tally with the counters is a bug (a cost hook
+//! missing or double-counting), so the subcommand refuses to render it.
+//!
+//! The render format follows `DCB_PROF`:
+//!
+//! * `collapsed` — Brendan-Gregg collapsed stacks, byte-identical across
+//!   `DCB_THREADS` (asserted by `tests/prof_profile.rs`);
+//! * `svg` — self-contained flamegraph SVG, equally byte-identical;
+//! * anything else — a human text report: the attribution tree, the
+//!   reconciliation table, and a **volatile** wall-time overlay reusing
+//!   the telemetry span timers (explicitly not byte-reproducible).
+
+use dcb_prof::{ProfMode, ProfNode, Profile, WorkKind};
+use dcb_telemetry::Snapshot;
+use std::fmt::Write as _;
+
+/// Runs the subcommand: `repro profile <exhibit> [<exhibit>...]`.
+///
+/// # Errors
+///
+/// Returns a message (for stderr + exit 2) on unknown exhibits, on
+/// missing arguments, or when the profile fails to reconcile with the
+/// telemetry counters.
+pub fn run_cli(args: &[String]) -> Result<String, String> {
+    if args.is_empty() {
+        return Err(usage());
+    }
+    let mut catalog = crate::all_exhibits();
+    catalog.extend(crate::extra_exhibits());
+    let mut chosen: Vec<crate::Exhibit> = Vec::new();
+    for name in args {
+        match catalog.iter().find(|(n, _)| n == name) {
+            Some(&exhibit) => chosen.push(exhibit),
+            None => {
+                return Err(format!(
+                    "unknown exhibit {name:?}\n\n{usage}",
+                    usage = usage()
+                ))
+            }
+        }
+    }
+
+    // Force both planes on for the profiled run, restoring the prior
+    // state afterwards (mirrors how `repro explain` forces tracing).
+    let telemetry_was = dcb_telemetry::enabled();
+    let prof_was = dcb_prof::enabled();
+    dcb_telemetry::registry().reset();
+    dcb_prof::reset();
+    dcb_telemetry::set_enabled(true);
+    dcb_prof::set_enabled(true);
+    for (name, generate) in &chosen {
+        let _span = dcb_telemetry::span(name);
+        let _frame = dcb_prof::frame(name);
+        // The exhibit's text is the figure, not the profile; discard it.
+        let _ = generate();
+    }
+    dcb_telemetry::set_enabled(telemetry_was);
+    dcb_prof::set_enabled(prof_was);
+
+    let profile = dcb_prof::snapshot();
+    let telemetry = dcb_telemetry::snapshot();
+    let reconciliation = reconcile(&profile, &telemetry)?;
+
+    Ok(match dcb_prof::mode_from_env() {
+        ProfMode::Collapsed => dcb_prof::collapsed::render(&profile),
+        ProfMode::Svg => dcb_prof::svg::render(&profile),
+        ProfMode::Text => text_report(&profile, &telemetry, &reconciliation),
+    })
+}
+
+fn usage() -> String {
+    "usage: repro profile <exhibit> [<exhibit>...]\n\
+     renders a deterministic work-attribution profile (DCB_PROF=collapsed|svg\n\
+     for byte-reproducible output, default is a human text report)"
+        .to_string()
+}
+
+/// Asserts the profile's per-kind totals equal the mirrored telemetry
+/// counters exactly. Returns the reconciliation table on success.
+fn reconcile(profile: &Profile, telemetry: &Snapshot) -> Result<Vec<String>, String> {
+    let mut rows = Vec::new();
+    for kind in WorkKind::ALL {
+        let tally = profile.total(kind);
+        let counter = telemetry.counter(kind.counter_name()).unwrap_or(0);
+        if tally != counter {
+            return Err(format!(
+                "profile does not reconcile with telemetry: \
+                 [{label}] tally {tally} != counter {name} = {counter}",
+                label = kind.label(),
+                name = kind.counter_name(),
+            ));
+        }
+        rows.push(format!(
+            "[{label}] {tally} == {name}",
+            label = kind.label(),
+            name = kind.counter_name(),
+        ));
+    }
+    Ok(rows)
+}
+
+fn render_node(node: &ProfNode, depth: usize, out: &mut String) {
+    if depth > 0 {
+        let mut weights = String::new();
+        for kind in WorkKind::ALL {
+            let w = node.self_weight(kind);
+            if w > 0 {
+                let _ = write!(weights, "  {}={w}", kind.label());
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {:indent$}{name}{weights}",
+            "",
+            indent = (depth - 1) * 2,
+            name = node.name,
+        );
+    }
+    for child in &node.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+/// The human report: tree, totals, reconciliation, wall overlay.
+fn text_report(profile: &Profile, telemetry: &Snapshot, reconciliation: &[String]) -> String {
+    let mut out = String::from("work-attribution profile (model-work units, deterministic)\n");
+    render_node(&profile.root, 0, &mut out);
+    let root = &profile.root;
+    let mut rootline = String::new();
+    for kind in WorkKind::ALL {
+        let w = root.self_weight(kind);
+        if w > 0 {
+            let _ = write!(rootline, "  {}={w}", kind.label());
+        }
+    }
+    if !rootline.is_empty() {
+        let _ = writeln!(out, "  (unattributed){rootline}");
+    }
+    out.push_str("totals (reconciled exactly with telemetry):\n");
+    for row in reconciliation {
+        let _ = writeln!(out, "  {row}");
+    }
+    out.push_str("wall-time overlay (volatile, not byte-reproducible):\n");
+    for span in &telemetry.spans {
+        let _ = writeln!(
+            out,
+            "  {:<44} calls {:>6}  wall {:.3} ms",
+            span.path,
+            span.calls,
+            span.wall_ns as f64 / 1e6
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_exhibit_is_rejected_with_usage() {
+        let err = run_cli(&["not-an-exhibit".to_string()]).unwrap_err();
+        assert!(err.contains("unknown exhibit"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        assert!(run_cli(&[]).unwrap_err().contains("usage:"));
+    }
+
+    #[test]
+    fn reconcile_reports_the_offending_kind() {
+        let profile = Profile {
+            root: ProfNode {
+                name: String::new(),
+                weights: [3, 0, 0, 0, 0],
+                children: Vec::new(),
+            },
+        };
+        let telemetry = Snapshot {
+            counters: vec![(
+                "engine.cycles".to_string(),
+                dcb_telemetry::Stability::Stable,
+                7,
+            )],
+            histograms: Vec::new(),
+            spans: Vec::new(),
+        };
+        let err = reconcile(&profile, &telemetry).unwrap_err();
+        assert!(err.contains("[cycles] tally 3"), "{err}");
+        assert!(err.contains("engine.cycles = 7"), "{err}");
+    }
+}

@@ -79,6 +79,7 @@ pub fn evaluate(
     technique: &Technique,
     duration: Seconds,
 ) -> Performability {
+    let _prof = dcb_prof::frame("evaluate");
     let outcome = OutageSim::new(*cluster, config.clone(), technique.clone()).run(duration);
     dcb_telemetry::counter!("core.evaluate.scenarios").incr();
     if !outcome.feasible {
@@ -169,6 +170,7 @@ pub fn sweep_configs(
 ) -> Vec<Performability> {
     assert!(!catalog.is_empty(), "technique catalog must not be empty");
     let _span = dcb_telemetry::span("sweep_configs");
+    let _prof = dcb_prof::frame("sweep_configs");
     let mut scenarios = Vec::with_capacity(configs.len() * durations.len() * catalog.len());
     for config in configs {
         for &duration in durations {
@@ -197,6 +199,7 @@ pub fn sweep_techniques(
     catalog: &[Technique],
 ) -> Vec<Performability> {
     let _span = dcb_telemetry::span("sweep_techniques");
+    let _prof = dcb_prof::frame("sweep_techniques");
     let mut scenarios = Vec::with_capacity(catalog.len() * durations.len());
     for technique in catalog {
         for &duration in durations {

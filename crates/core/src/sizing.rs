@@ -182,6 +182,7 @@ pub fn technique_tradeoffs(
     targets: &SizingTargets,
 ) -> Vec<(Technique, Seconds, Option<SizedPoint>)> {
     let _span = dcb_telemetry::span("technique_tradeoffs");
+    let _prof = dcb_prof::frame("technique_tradeoffs");
     let mut cells = Vec::with_capacity(catalog.len() * durations.len());
     for technique in catalog {
         for &duration in durations {

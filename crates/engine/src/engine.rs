@@ -332,6 +332,18 @@ impl<W> Engine<W> {
                 }
             }
         }
+        if dcb_prof::enabled() {
+            // Cycles attribute per component from the fire tally; the sum
+            // equals `events`, so the profile reconciles with
+            // `engine.cycles` exactly.
+            let _engine = dcb_prof::frame("engine");
+            for (name, fired) in self.names.iter().zip(&fired_per_component) {
+                if *fired > 0 {
+                    let _component = dcb_prof::frame(name);
+                    dcb_prof::record(dcb_prof::WorkKind::Cycles, *fired);
+                }
+            }
+        }
         RunStats {
             cycles: events,
             fired_total: events,

@@ -59,6 +59,10 @@ pub fn first_true(
             }
             dcb_telemetry::counter!("engine.locate.bisection_iters").add(iters);
             dcb_telemetry::histogram!("engine.locate.bisection_iters_per_search").observe(iters);
+            if dcb_prof::enabled() {
+                let _locate = dcb_prof::frame("locate");
+                dcb_prof::record(dcb_prof::WorkKind::LocateIters, iters);
+            }
             if dcb_trace::enabled() {
                 dcb_trace::instant(Some(dcb_trace::micros(tr)), None, || {
                     dcb_trace::EventKind::ShortfallRoot { bisections: iters }

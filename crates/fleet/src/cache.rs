@@ -118,6 +118,10 @@ impl<V: Clone> EvalCache<V> {
         dcb_trace::instant(None, None, || dcb_trace::EventKind::CacheMiss {
             digest: format!("{key:032x}"),
         });
+        if dcb_prof::enabled() {
+            let _cache = dcb_prof::frame("eval-cache");
+            dcb_prof::record(dcb_prof::WorkKind::CacheMisses, 1);
+        }
         let value = compute();
         lock_shard(self.shard(key))
             .entry(key)

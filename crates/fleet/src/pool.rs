@@ -75,7 +75,12 @@ impl FleetPool {
         // workload, so traces are byte-identical across thread counts.
         // Returns None when tracing is off or this batch is nested.
         let lane_base = dcb_trace::claim_lanes(items.len());
+        // The profiler's attribution path is captured the same way: on
+        // the calling thread, so every worker records under the frames
+        // open at the submission site regardless of scheduling.
+        let prof_handoff = dcb_prof::handoff();
         let eval_in_lane = |index: usize, item: &T| -> R {
+            let _prof = prof_handoff.as_ref().map(dcb_prof::enter);
             match lane_base {
                 Some(base) => {
                     let _guard = dcb_trace::lane_scope(base + index as u64);

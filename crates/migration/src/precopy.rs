@@ -104,13 +104,23 @@ impl MigrationModel {
             to_send = dirty_rate.transferred_in(round_time).min(state);
         }
         let pause = to_send.transfer_time(self.bandwidth);
-        MigrationPlan {
+        let plan = MigrationPlan {
             duration: duration + pause,
             transferred: transferred + to_send,
             rounds,
             pause,
             converged,
+        };
+        dcb_telemetry::counter!("migration.plans").incr();
+        if !plan.converged {
+            dcb_telemetry::counter!("migration.plans_unconverged").incr();
         }
+        // Dirty-page volume over the wire, floored to whole megabytes so
+        // the counter stays integral and stable.
+        dcb_telemetry::counter!("migration.transferred_mb")
+            .add(plan.transferred.to_megabytes().max(0.0) as u64);
+        dcb_telemetry::histogram!("migration.rounds_per_plan").observe(u64::from(plan.rounds));
+        plan
     }
 }
 

@@ -1,0 +1,246 @@
+//! Self-contained deterministic flamegraph SVG.
+//!
+//! A static (non-scripted) flamegraph: rows of rectangles, root at the
+//! top, each node's horizontal extent proportional to its *inclusive*
+//! model-work weight summed over every [`WorkKind`]. Hover tooltips come
+//! from plain `<title>` elements, colors from an FNV-1a hash of the
+//! frame name mapped into a warm palette, and all coordinates are
+//! emitted at fixed two-decimal precision — so equal profiles produce
+//! byte-identical SVG, the property the subprocess determinism tests
+//! pin down.
+
+use crate::{ProfNode, Profile, WorkKind};
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 1200.0;
+const ROW_H: f64 = 16.0;
+const PAD: f64 = 10.0;
+const LEGEND_H: f64 = 18.0;
+/// Rectangles narrower than this are skipped (their `<title>` would be
+/// unhoverable anyway); keeps pathological trees from bloating the file.
+const MIN_WIDTH: f64 = 0.4;
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Warm flame palette: red 180–240, green 60–180, blue 30–70, all
+/// derived from the name hash so a frame keeps its color across runs
+/// and exhibits.
+fn color(name: &str) -> String {
+    let h = fnv1a(name);
+    let r = 180 + (h & 0x3f) % 61;
+    let g = 60 + ((h >> 8) & 0xff) % 121;
+    let b = 30 + ((h >> 16) & 0x3f) % 41;
+    format!("rgb({r},{g},{b})")
+}
+
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn depth_of(node: &ProfNode) -> usize {
+    1 + node.children.iter().map(depth_of).max().unwrap_or(0)
+}
+
+fn tooltip(node: &ProfNode, total: u64) -> String {
+    let inclusive = node.inclusive_total();
+    let pct = if total == 0 {
+        0.0
+    } else {
+        100.0 * inclusive as f64 / total as f64
+    };
+    let mut tip = format!(
+        "{} — {inclusive} units ({pct:.1}%)",
+        if node.name.is_empty() {
+            "all"
+        } else {
+            &node.name
+        }
+    );
+    for kind in WorkKind::ALL {
+        let w = node.self_weight(kind);
+        if w > 0 {
+            let _ = write!(tip, "\nself {}: {w}", kind.label());
+        }
+    }
+    tip
+}
+
+fn emit(node: &ProfNode, x0: f64, width: f64, depth: usize, total: u64, out: &mut String) {
+    if width < MIN_WIDTH {
+        return;
+    }
+    let y = PAD + depth as f64 * ROW_H;
+    let label = if node.name.is_empty() {
+        "all".to_string()
+    } else {
+        node.name.clone()
+    };
+    let fill = color(&label);
+    let _ = write!(
+        out,
+        "<g><title>{}</title><rect x=\"{x0:.2}\" y=\"{y:.2}\" width=\"{width:.2}\" \
+         height=\"{:.2}\" fill=\"{fill}\" stroke=\"#3a2a1a\" stroke-width=\"0.5\"/>",
+        xml_escape(&tooltip(node, total)),
+        ROW_H - 1.0,
+    );
+    // Roughly 7px per glyph at font-size 12; only label what fits.
+    if width >= 7.0 * label.len() as f64 + 4.0 {
+        let _ = write!(
+            out,
+            "<text x=\"{:.2}\" y=\"{:.2}\" font-size=\"12\" font-family=\"monospace\" \
+             fill=\"#1a1008\">{}</text>",
+            x0 + 3.0,
+            y + ROW_H - 4.5,
+            xml_escape(&label),
+        );
+    }
+    out.push_str("</g>\n");
+    let node_inclusive = node.inclusive_total();
+    if node_inclusive == 0 {
+        return;
+    }
+    let mut cursor = x0;
+    for child in &node.children {
+        let child_w = width * child.inclusive_total() as f64 / node_inclusive as f64;
+        emit(child, cursor, child_w, depth + 1, total, out);
+        cursor += child_w;
+    }
+}
+
+/// Renders a [`Profile`] as a self-contained flamegraph SVG.
+/// Deterministic: equal profiles yield equal bytes.
+#[must_use]
+pub fn render(profile: &Profile) -> String {
+    let total = profile.root.inclusive_total();
+    let depth = depth_of(&profile.root);
+    let height = PAD * 2.0 + depth as f64 * ROW_H + LEGEND_H;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {WIDTH:.0} {height:.0}\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"#fdf6ec\"/>\n"
+    );
+    emit(&profile.root, PAD, WIDTH - 2.0 * PAD, 0, total, &mut out);
+    // Legend: per-kind totals, the same numbers reconciliation checks.
+    let mut legend = String::from("totals:");
+    for kind in WorkKind::ALL {
+        let w = profile.root.inclusive_weight(kind);
+        if w > 0 {
+            let _ = write!(legend, " {}={w}", kind.label());
+        }
+    }
+    if legend == "totals:" {
+        legend.push_str(" (no work recorded)");
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{PAD:.2}\" y=\"{:.2}\" font-size=\"12\" font-family=\"monospace\" \
+         fill=\"#5a4632\">{}</text>\n</svg>\n",
+        height - 6.0,
+        xml_escape(&legend),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProfNode;
+
+    fn sample() -> Profile {
+        Profile {
+            root: ProfNode {
+                name: String::new(),
+                weights: [0; 5],
+                children: vec![
+                    ProfNode {
+                        name: "fig5".to_string(),
+                        weights: [0; 5],
+                        children: vec![ProfNode {
+                            name: "sim-kernel".to_string(),
+                            weights: [0, 900, 0, 0, 0],
+                            children: Vec::new(),
+                        }],
+                    },
+                    ProfNode {
+                        name: "topo".to_string(),
+                        weights: [0, 0, 0, 100, 0],
+                        children: Vec::new(),
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn render_is_wellformed_and_deterministic() {
+        let a = render(&sample());
+        let b = render(&sample());
+        assert_eq!(a, b);
+        assert!(a.starts_with("<svg "));
+        assert!(a.trim_end().ends_with("</svg>"));
+        assert!(a.contains("sim-kernel"));
+        assert!(a.contains("totals: segments=900 node-steps=100"));
+        // Every <g> opened is closed, every rect has a title.
+        assert_eq!(a.matches("<g>").count(), a.matches("</g>").count());
+        assert_eq!(a.matches("<rect x=").count(), a.matches("<title>").count());
+    }
+
+    #[test]
+    fn widths_are_proportional_to_inclusive_weight() {
+        let svg = render(&sample());
+        // fig5 holds 900/1000 of the work → width 0.9 × (1200 − 20).
+        assert!(svg.contains("width=\"1062.00\""), "{svg}");
+        assert!(svg.contains("width=\"118.00\""), "{svg}");
+    }
+
+    #[test]
+    fn empty_profile_renders_placeholder_legend() {
+        let empty = Profile {
+            root: ProfNode {
+                name: String::new(),
+                weights: [0; 5],
+                children: Vec::new(),
+            },
+        };
+        let svg = render(&empty);
+        assert!(svg.contains("(no work recorded)"));
+    }
+
+    #[test]
+    fn tooltips_escape_xml() {
+        let profile = Profile {
+            root: ProfNode {
+                name: String::new(),
+                weights: [0; 5],
+                children: vec![ProfNode {
+                    name: "a<b&c".to_string(),
+                    weights: [1, 0, 0, 0, 0],
+                    children: Vec::new(),
+                }],
+            },
+        };
+        let svg = render(&profile);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b&c"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the collapsed-stack encoding: arbitrary profiles
+//! built from a safe frame-name alphabet must satisfy `render → parse →
+//! encode` byte-identity, and parsed lines must tally to the same
+//! per-kind totals as the profile they came from. This is the
+//! determinism keystone for the profiler: byte-identical exports across
+//! `DCB_THREADS` reduce to canonical per-line encoding plus the sorted
+//! line order.
+
+use dcb_prof::collapsed::{self, CollapsedLine};
+use dcb_prof::{ProfNode, Profile, WorkKind};
+use proptest::prelude::*;
+
+/// Legal frame-name characters (no `;`, whitespace, or brackets).
+const POOL: &[char] = &[
+    'a', 'k', 'z', 'A', 'Q', '0', '7', '-', '_', '.', ':', '/', '±',
+];
+
+/// Builds a 1–10 character frame name from 64 selector bits.
+fn name_from(bits: u64) -> String {
+    let len = 1 + (bits % 10) as usize;
+    let mut out = String::new();
+    let mut cursor = bits;
+    for _ in 0..len {
+        cursor = cursor
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        out.push(POOL[(cursor >> 33) as usize % POOL.len()]);
+    }
+    out
+}
+
+/// Builds a small random attribution tree: up to `budget` nodes, each
+/// with weights drawn from the selector stream.
+fn tree_from(seed: u64, budget: &mut u32, depth: u32) -> ProfNode {
+    let mut cursor = seed;
+    let mut next = || {
+        cursor = cursor
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        cursor
+    };
+    let mut weights = [0u64; 5];
+    for w in &mut weights {
+        let bits = next();
+        // Mostly-zero weights exercise the "skip empty lines" path.
+        *w = if bits & 3 == 0 {
+            (bits >> 2) % 10_000
+        } else {
+            0
+        };
+    }
+    let mut children = Vec::new();
+    if depth < 4 {
+        let fanout = (next() % 4) as u32;
+        for _ in 0..fanout {
+            if *budget == 0 {
+                break;
+            }
+            *budget -= 1;
+            children.push(tree_from(next(), budget, depth + 1));
+        }
+    }
+    // Children must be unique by name and name-sorted, as snapshot()
+    // guarantees; dedup keeps the invariant for colliding names.
+    children.sort_by(|a: &ProfNode, b: &ProfNode| a.name.cmp(&b.name));
+    children.dedup_by(|a, b| a.name == b.name);
+    ProfNode {
+        name: name_from(next()),
+        weights,
+        children,
+    }
+}
+
+fn totals_of_lines(lines: &[CollapsedLine]) -> [u64; 5] {
+    let mut totals = [0u64; 5];
+    for line in lines {
+        let idx = WorkKind::ALL
+            .iter()
+            .position(|k| *k == line.kind)
+            .expect("kind in ALL");
+        totals[idx] += line.weight;
+    }
+    totals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn render_parse_encode_is_byte_identical(seed in 0u64..=u64::MAX) {
+        let mut budget = 24u32;
+        let root_body = tree_from(seed, &mut budget, 0);
+        let profile = Profile {
+            root: ProfNode {
+                name: String::new(),
+                weights: root_body.weights,
+                children: root_body.children,
+            },
+        };
+        let text = collapsed::render(&profile);
+        let parsed = collapsed::parse(&text);
+        prop_assert!(parsed.is_ok(), "canonical render failed to parse: {:?}", parsed);
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(collapsed::encode(&parsed), text);
+
+        // The parsed lines must tally to the profile's per-kind totals.
+        let totals = totals_of_lines(&parsed);
+        for kind in WorkKind::ALL {
+            let idx = WorkKind::ALL.iter().position(|k| *k == kind).unwrap();
+            prop_assert_eq!(totals[idx], profile.total(kind));
+        }
+    }
+
+    #[test]
+    fn encode_of_parsed_lines_is_a_fixed_point(seed in 0u64..=u64::MAX) {
+        let mut cursor = seed;
+        let mut next = || {
+            cursor = cursor
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            cursor
+        };
+        let count = (next() % 12) as usize;
+        let lines: Vec<CollapsedLine> = (0..count)
+            .map(|_| {
+                let frames = (0..(next() % 4)).map(|_| name_from(next())).collect();
+                CollapsedLine {
+                    frames,
+                    kind: WorkKind::ALL[(next() % 5) as usize],
+                    weight: next() % 1_000_000,
+                }
+            })
+            .collect();
+        let text = collapsed::encode(&lines);
+        let reparsed = collapsed::parse(&text);
+        prop_assert!(reparsed.is_ok(), "{:?}", reparsed);
+        prop_assert_eq!(collapsed::encode(&reparsed.unwrap()), text);
+    }
+}

@@ -144,7 +144,7 @@ impl Server {
             from: s.state_name(),
             command: c,
         };
-        match (self.state, command) {
+        let result = match (self.state, command) {
             (PowerState::Active(_), ServerCommand::SetThrottle(level)) => {
                 self.state = PowerState::Active(level);
                 Ok(())
@@ -192,7 +192,12 @@ impl Server {
             (_, ServerCommand::Sleep) => Err(illegal(self, "sleep")),
             (_, ServerCommand::Hibernate { .. }) => Err(illegal(self, "hibernate")),
             (_, ServerCommand::PowerOn) => Err(illegal(self, "power on")),
+        };
+        match result {
+            Ok(()) => dcb_telemetry::counter!("server.machine.transitions").incr(),
+            Err(_) => dcb_telemetry::counter!("server.machine.refusals").incr(),
         }
+        result
     }
 
     /// Advances time, progressing transitional states and integrating
@@ -215,6 +220,7 @@ impl Server {
                     | PowerState::Booting => PowerState::active_full(),
                     other => other,
                 };
+                dcb_telemetry::counter!("server.machine.settled").incr();
             }
         }
         consumed

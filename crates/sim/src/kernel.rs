@@ -168,6 +168,15 @@ impl OutageSim {
         for segment in &trajectory.segments {
             segment_end_counter(segment.ended_by).incr();
         }
+        if dcb_prof::enabled() {
+            // Segments attribute per end cause; the per-cause sum equals
+            // `sim.kernel.segments`, so the profile reconciles exactly.
+            let _kernel = dcb_prof::frame("sim-kernel");
+            for segment in &trajectory.segments {
+                let _cause = dcb_prof::frame(segment.ended_by.as_str());
+                dcb_prof::record(dcb_prof::WorkKind::Segments, 1);
+            }
+        }
         trajectory
     }
 

@@ -155,6 +155,10 @@ pub fn resolve_with_evaluator<E: LeafEvaluator + ?Sized>(
     dcb_telemetry::counter!("topo.shed.servers").add(stats.shed_servers);
     dcb_telemetry::histogram!("topo.collapse.ratio_x100")
         .observe((stats.collapse_ratio() * 100.0) as u64);
+    if dcb_prof::enabled() {
+        let _resolve = dcb_prof::frame("topo-resolve");
+        dcb_prof::record(dcb_prof::WorkKind::NodeSteps, stats.resolved_nodes);
+    }
 
     Ok(TopologyOutcome {
         aggregate: root_part.outcome,

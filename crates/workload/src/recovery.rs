@@ -123,7 +123,11 @@ impl RecoveryModel {
     #[must_use]
     pub fn crash_downtime(&self, outage: Seconds, boot: Seconds) -> DowntimeRange {
         let fixed = outage + boot + self.app_start + self.reload_time() + self.warmup;
-        self.recompute.shift(fixed)
+        let range = self.recompute.shift(fixed);
+        dcb_telemetry::counter!("workload.recovery.events").incr();
+        dcb_telemetry::histogram!("workload.recovery.downtime_s")
+            .observe(range.expected.value().max(0.0) as u64);
+        range
     }
 }
 
